@@ -1,0 +1,326 @@
+// Command avxattack runs individual attacks from the paper against a
+// simulated victim machine and prints what an attacker would see.
+//
+// Usage:
+//
+//	avxattack -attack base    [-cpu 12400F] [-seed N] [-kpti] [-flare]
+//	avxattack -attack modules [-cpu 1065G7]
+//	avxattack -attack kpti    [-trampoline 0xc00000]
+//	avxattack -attack windows | kvas
+//	avxattack -attack behavior [-duration 100]
+//	avxattack -attack sgx     [-entropy 16]
+//	avxattack -attack cloud   [-provider ec2|gce|azure]
+//
+// The -cpu flag accepts any substring of a preset name (see -list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/behavior"
+	"repro/internal/core"
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/paging"
+	"repro/internal/rng"
+	"repro/internal/sgx"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+	"repro/internal/userspace"
+	"repro/internal/winkernel"
+)
+
+func main() {
+	attack := flag.String("attack", "base", "base|modules|kpti|windows|kvas|behavior|sgx|cloud")
+	cpu := flag.String("cpu", "12400F", "CPU preset name substring")
+	seed := flag.Uint64("seed", 1, "victim boot / experiment seed")
+	kpti := flag.Bool("kpti", false, "boot the victim with KPTI")
+	flare := flag.Bool("flare", false, "boot the victim with FLARE dummy mappings")
+	trampoline := flag.Uint64("trampoline", linux.DefaultTrampolineOffset, "KPTI trampoline offset (attacker knowledge)")
+	duration := flag.Float64("duration", 100, "behavior-spy observation window in seconds")
+	entropy := flag.Int("entropy", 16, "user-ASLR entropy bits for the sgx attack (paper: 28)")
+	provider := flag.String("provider", "ec2", "cloud provider: ec2|gce|azure")
+	list := flag.Bool("list", false, "list CPU presets and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range uarch.All() {
+			fmt.Printf("%-36s %-8s %-6s %.1f GHz\n", p.Name, p.Setting, p.Launch, p.TSCGHz)
+		}
+		return
+	}
+
+	preset := uarch.ByName(*cpu)
+	if preset == nil {
+		fail("no CPU preset matches %q (use -list)", *cpu)
+	}
+
+	switch *attack {
+	case "base":
+		runBase(preset, *seed, *kpti, *flare)
+	case "modules":
+		runModules(preset, *seed)
+	case "kpti":
+		runKPTI(preset, *seed, *trampoline)
+	case "windows":
+		runWindows(preset, *seed)
+	case "kvas":
+		runKVAS(preset, *seed)
+	case "behavior":
+		runBehavior(preset, *seed, *duration)
+	case "sgx":
+		runSGX(preset, *seed, *entropy)
+	case "cloud":
+		runCloud(*provider, *seed)
+	default:
+		fail("unknown attack %q", *attack)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func newVictim(preset *uarch.Preset, seed uint64, cfg linux.Config) (*machine.Machine, *linux.Kernel, *core.Prober) {
+	m := machine.New(preset, seed)
+	cfg.Seed = seed
+	k, err := linux.Boot(m, cfg)
+	if err != nil {
+		fail("boot: %v", err)
+	}
+	p, err := core.NewProber(m, core.Options{})
+	if err != nil {
+		fail("calibration: %v", err)
+	}
+	fmt.Printf("victim: %s, Linux (KASLR%s%s), seed %d\n",
+		preset.Name, opt(cfg.KPTI, "+KPTI"), opt(cfg.FLARE, "+FLARE"), seed)
+	fmt.Printf("calibrated threshold: %.1f cycles (fast-class median %.1f)\n\n",
+		p.Threshold.Cycles, p.Threshold.FastMean)
+	return m, k, p
+}
+
+func opt(on bool, s string) string {
+	if on {
+		return s
+	}
+	return ""
+}
+
+func runBase(preset *uarch.Preset, seed uint64, kpti, flare bool) {
+	m, k, p := newVictim(preset, seed, linux.Config{KPTI: kpti, FLARE: flare})
+	res, err := core.KernelBase(p)
+	if err != nil {
+		fail("attack: %v", err)
+	}
+	mapped := &trace.Series{Name: "mapped"}
+	unmapped := &trace.Series{Name: "unmapped"}
+	for _, s := range res.Samples {
+		y := s.Cycles - preset.FenceOverhead
+		if y > 140 {
+			y = 140
+		}
+		if s.Mapped {
+			mapped.Add(float64(s.Slot), y)
+		} else {
+			unmapped.Add(float64(s.Slot), y)
+		}
+	}
+	plot := trace.NewPlot("kernel offset scan (Fig. 4)", "offset (2 MiB slots)", "cycles")
+	plot.AddSeries(unmapped, '.')
+	plot.AddSeries(mapped, 'o')
+	fmt.Println(plot.Render())
+	fmt.Printf("kernel base: %#x (slide %#x) — ground truth %#x [%s]\n",
+		uint64(res.Base), res.Slide, uint64(k.Base), verdict(res.Base == k.Base))
+	fmt.Printf("runtime: probing %.3g ms, total %.3g ms; faults delivered: %d\n",
+		res.ProbeSeconds(preset)*1e3, res.TotalSeconds(preset)*1e3, p.Faults())
+	_ = m
+}
+
+func runModules(preset *uarch.Preset, seed uint64) {
+	_, k, p := newVictim(preset, seed, linux.Config{})
+	table := core.SizeTable(k.ProcModules())
+	res := core.Modules(p, table)
+	score := core.ScoreModules(res, k.Modules, table)
+	tab := &trace.Table{Header: []string{"offset(4K)", "size", "classification"}}
+	for i, r := range res.Regions {
+		if i >= 12 {
+			tab.AddRow("...", "", fmt.Sprintf("(%d more)", len(res.Regions)-i))
+			break
+		}
+		off := (uint64(r.Base) - uint64(linux.ModuleRegionBase)) >> 12
+		tab.AddRow(fmt.Sprintf("%d", off), fmt.Sprintf("%#x", r.Size), strings.Join(r.Names, "|"))
+	}
+	fmt.Println(tab.Render())
+	fmt.Printf("regions: %d; detection %.2f%%; uniquely identified %d/%d unique-sized\n",
+		len(res.Regions), 100*score.DetectionAccuracy(), score.Identified, score.UniqueSize)
+	fmt.Printf("runtime: probing %.3g ms, total %.3g ms\n",
+		preset.CyclesToSeconds(res.ProbeCycles)*1e3, preset.CyclesToSeconds(res.TotalCycles)*1e3)
+}
+
+func runKPTI(preset *uarch.Preset, seed uint64, trampolineOff uint64) {
+	_, k, p := newVictim(preset, seed, linux.Config{KPTI: true, TrampolineOffset: trampolineOff})
+	res, err := core.KPTIBreak(p, trampolineOff)
+	if err != nil {
+		fail("attack: %v", err)
+	}
+	fmt.Printf("trampoline found at %#x\n", uint64(res.TrampolineVA))
+	fmt.Printf("kernel base: %#x — ground truth %#x [%s]\n",
+		uint64(res.Base), uint64(k.Base), verdict(res.Base == k.Base))
+	fmt.Printf("runtime: total %.3g ms\n", preset.CyclesToSeconds(res.TotalCycles)*1e3)
+}
+
+func runWindows(preset *uarch.Preset, seed uint64) {
+	m := machine.New(preset, seed)
+	wk, err := winkernel.Boot(m, winkernel.Config{Seed: seed, Drivers: 24})
+	if err != nil {
+		fail("boot: %v", err)
+	}
+	p, err := core.NewProber(m, core.Options{})
+	if err != nil {
+		fail("calibration: %v", err)
+	}
+	fmt.Printf("victim: %s, Windows 10, 2^18 slots\n\n", preset.Name)
+	res, err := core.WindowsKernel(p, winkernel.ImageSlots)
+	if err != nil {
+		fail("attack: %v", err)
+	}
+	fmt.Printf("kernel region: %#x (%d consecutive 2 MiB pages) — ground truth %#x [%s]\n",
+		uint64(res.RegionBase), res.RunSlots, uint64(wk.Base), verdict(res.RegionBase == wk.Base))
+	fmt.Printf("runtime: %.3g ms (paper: ~60 ms)\n", preset.CyclesToSeconds(res.TotalCycles)*1e3)
+}
+
+func runKVAS(preset *uarch.Preset, seed uint64) {
+	const window = 4096 // 2 MiB slots scanned at 4 KiB granularity
+	m := machine.New(preset, seed)
+	wk, err := winkernel.Boot(m, winkernel.Config{Seed: seed, KVAS: true, MaxSlot: window - 8})
+	if err != nil {
+		fail("boot: %v", err)
+	}
+	p, err := core.NewProber(m, core.Options{})
+	if err != nil {
+		fail("calibration: %v", err)
+	}
+	fmt.Printf("victim: %s, Windows 10 + KVAS (slide restricted to %d slots)\n\n", preset.Name, window)
+	res, err := core.KVASBreak(p, window)
+	if err != nil {
+		fail("attack: %v", err)
+	}
+	fmt.Printf("KVAS region: %#x; kernel base %#x — ground truth %#x [%s]\n",
+		uint64(res.KVASVA), uint64(res.Base), uint64(wk.Base), verdict(res.Base == wk.Base))
+	fmt.Printf("runtime: %.3g s over the window (full region extrapolates ×%d)\n",
+		preset.CyclesToSeconds(res.TotalCycles), int(winkernel.Slots)/window)
+}
+
+func runBehavior(preset *uarch.Preset, seed uint64, duration float64) {
+	_, k, p := newVictim(preset, seed, linux.Config{})
+	mres := core.Modules(p, core.SizeTable(k.ProcModules()))
+	targets, err := core.LocateTargets(mres, "bluetooth", "psmouse")
+	if err != nil {
+		fail("locate: %v", err)
+	}
+	r := rng.New(seed + 1)
+	bt := behavior.RandomTimeline(behavior.BluetoothAudio(), duration, 12, 18, r)
+	ms := behavior.RandomTimeline(behavior.MouseMovement(), duration, 8, 6, r)
+	drv, err := behavior.NewDriver(k, bt, ms)
+	if err != nil {
+		fail("driver: %v", err)
+	}
+	spy := &core.BehaviorSpy{P: p, Targets: targets}
+	traces, err := spy.Run(drv, duration)
+	if err != nil {
+		fail("spy: %v", err)
+	}
+	for i, tr := range traces {
+		s := &trace.Series{Name: tr.Module}
+		for _, smp := range tr.Samples {
+			s.Add(smp.TimeSec, smp.MinCycles)
+		}
+		plot := trace.NewPlot(fmt.Sprintf("%s TLB probe (fast = in use)", tr.Module), "time (s)", "cycles")
+		plot.AddSeries(s, 'o')
+		fmt.Println(plot.Render())
+		tl := []*behavior.Timeline{bt, ms}[i]
+		fmt.Printf("detection accuracy vs ground truth: %.1f%%\n\n", 100*tr.Accuracy(tl))
+	}
+}
+
+func runSGX(preset *uarch.Preset, seed uint64, entropyBits int) {
+	m := machine.New(preset, seed)
+	if _, err := linux.Boot(m, linux.Config{Seed: seed}); err != nil {
+		fail("boot: %v", err)
+	}
+	proc, err := userspace.Build(m, userspace.Config{Seed: seed, EntropyBits: entropyBits, HideLastRWPage: true})
+	if err != nil {
+		fail("process: %v", err)
+	}
+	enc, err := sgx.Enter(m, sgx.RDTSC)
+	if err != nil {
+		fail("enclave: %v", err)
+	}
+	defer enc.Exit()
+	p, err := core.NewProber(m, core.Options{})
+	if err != nil {
+		fail("calibration: %v", err)
+	}
+	fmt.Printf("attacker inside SGX enclave on %s; process entropy %d bits\n\n", preset.Name, entropyBits)
+
+	base, probes, ok := core.ScanUntilMapped(p, userspace.ExeRegionBase, (1<<entropyBits)+1024)
+	fmt.Printf("exe base: %#x after %d probes [%s]\n", uint64(base), probes, verdict(ok && base == proc.Exe.Base))
+
+	libStart := proc.Libs[0].Base - 16*paging.Page4K
+	libEnd := proc.Libs[len(proc.Libs)-1].End() + 8*paging.Page4K
+	scan := core.UserScan(p, libStart, libEnd)
+	tab := &trace.Table{Header: []string{"region", "perm (Fig. 7 notation)", "pages"}}
+	for _, rg := range scan.Regions {
+		tab.AddRow(fmt.Sprintf("%#x-%#x", uint64(rg.Start), uint64(rg.End)), rg.Class.String(),
+			fmt.Sprintf("%d", rg.Pages()))
+	}
+	fmt.Println(tab.Render())
+	found := core.FingerprintLibraries(scan.Regions, userspace.StandardLibraries())
+	for name, addr := range found {
+		fmt.Printf("identified %-22s at %#x\n", name, uint64(addr))
+	}
+	fmt.Printf("\nscan runtime: load %.3g s, store %.3g s (×%d extrapolation to 28-bit entropy)\n",
+		preset.CyclesToSeconds(scan.LoadCycles), preset.CyclesToSeconds(scan.StoreCycles),
+		1<<(28-entropyBits))
+}
+
+func runCloud(provider string, seed uint64) {
+	var prov core.CloudProvider
+	switch provider {
+	case "ec2":
+		prov = core.AmazonEC2
+	case "gce":
+		prov = core.GoogleGCE
+	case "azure":
+		prov = core.MicrosoftAzure
+	default:
+		fail("unknown provider %q", provider)
+	}
+	res, err := core.CloudBreak(prov, seed, core.CloudBreakOptions{AzureMaxSlot: 20000})
+	if err != nil {
+		fail("attack: %v", err)
+	}
+	sc := core.Scenario(prov)
+	fmt.Printf("provider: %s (%s)\n", prov, sc.Preset.Name)
+	path := "page-table scan"
+	if res.ViaTrampoline {
+		path = fmt.Sprintf("KPTI trampoline (+%#x)", sc.Trampoline)
+	}
+	fmt.Printf("kernel base: %#x via %s in %.3g ms\n",
+		uint64(res.KernelBase), path, sc.Preset.CyclesToSeconds(res.BaseCycles)*1e3)
+	if res.ModuleCycles > 0 {
+		fmt.Printf("modules: %d regions in %.3g ms\n",
+			res.ModulesFound, sc.Preset.CyclesToSeconds(res.ModuleCycles)*1e3)
+	}
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "correct"
+	}
+	return "WRONG"
+}

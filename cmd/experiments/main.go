@@ -1,0 +1,85 @@
+// Command experiments regenerates every table and figure of the paper on
+// the simulator and prints paper-vs-measured reports with shape verdicts.
+//
+// Usage:
+//
+//	experiments [-scale default|paper] [-only "Fig. 4"] [-seed N]
+//
+// The default scale finishes in seconds; -scale paper runs the paper's
+// trial counts (n=10000 for Table I) and takes minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "experiment scale: default or paper")
+	only := flag.String("only", "", "run only experiments whose ID contains this substring")
+	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the scale's default)")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "default":
+		sc = experiments.DefaultScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	runners := []struct {
+		id  string
+		run func(experiments.Scale) experiments.Report
+	}{
+		{"Fig. 1", experiments.Fig1FaultSuppression},
+		{"Fig. 2", experiments.Fig2PageTypes},
+		{"§III-B levels", experiments.Fig2bPageTableLevels},
+		{"§III-B TLB", experiments.Fig2cTLBState},
+		{"Fig. 3", experiments.Fig3Permissions},
+		{"§III-B P6", experiments.Fig3bLoadVsStore},
+		{"Fig. 4", experiments.Fig4KernelBaseScan},
+		{"Table I", experiments.Table1},
+		{"Fig. 5", experiments.Fig5ModuleIdent},
+		{"§IV-D", experiments.Sec4dKPTI},
+		{"Fig. 6", experiments.Fig6BehaviorSpy},
+		{"Fig. 7", experiments.Fig7SGXFineGrained},
+		{"§IV-G", experiments.Sec4gWindows},
+		{"§IV-H", experiments.Sec4hCloud},
+		{"§V", experiments.Sec5Defenses},
+		{"baselines", experiments.BaselineComparison},
+	}
+
+	failures := 0
+	ran := 0
+	for _, r := range runners {
+		if *only != "" && !strings.Contains(r.id, *only) {
+			continue
+		}
+		rep := r.run(sc)
+		fmt.Println(rep.String())
+		fmt.Println()
+		ran++
+		if !rep.OK {
+			failures++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -only=%q\n", *only)
+		os.Exit(2)
+	}
+	fmt.Printf("%d/%d experiments reproduce the paper's shape\n", ran-failures, ran)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

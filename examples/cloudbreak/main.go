@@ -1,0 +1,49 @@
+// Cloudbreak: KASLR breaks on the three public-cloud guests of §IV-H —
+// Amazon EC2 (Meltdown-vulnerable Xeon with KPTI: base via the trampoline
+// at +0xe00000), Google GCE (direct page-table scan) and Microsoft Azure
+// (Windows guest, 18-bit region scan). Virtualization shows up in the
+// model as nested-paging walk overhead and fatter noise tails; the attack
+// code is unchanged from the bare-metal examples — the practicality point
+// the paper makes.
+//
+// Run: go run ./examples/cloudbreak
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	for _, prov := range []core.CloudProvider{core.AmazonEC2, core.GoogleGCE, core.MicrosoftAzure} {
+		sc := core.Scenario(prov)
+		fmt.Printf("=== %s — %s\n", prov, sc.Preset.Name)
+
+		res, err := core.CloudBreak(prov, 777, core.CloudBreakOptions{
+			// The Azure/Windows scan is bounded for example runtime; the
+			// full 2^18-slot scan is the §IV-G/H bench.
+			AzureMaxSlot: 20000,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", prov, err)
+		}
+
+		path := "page-table attack over 512 slots"
+		if res.ViaTrampoline {
+			path = fmt.Sprintf("KPTI trampoline at base+%#x", sc.Trampoline)
+		}
+		if sc.Windows {
+			path = "run-length scan over the 2 MiB-slot region"
+		}
+		fmt.Printf("  kernel base %#x via %s\n", uint64(res.KernelBase), path)
+		fmt.Printf("  base runtime: %.3g ms\n", sc.Preset.CyclesToSeconds(res.BaseCycles)*1e3)
+		if res.ModuleCycles > 0 {
+			fmt.Printf("  modules: %d regions in %.3g ms\n",
+				res.ModulesFound, sc.Preset.CyclesToSeconds(res.ModuleCycles)*1e3)
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper (§IV-H): EC2 0.03 ms base / 1.14 ms modules; GCE 0.08 ms / 2.7 ms; Azure 2.06 s")
+}

@@ -1,0 +1,61 @@
+// Modulespy: enumerate and identify loaded kernel modules (§IV-C, Figure
+// 5). The attack probes the 64 MiB module region at 4 KiB granularity,
+// segments the mapped runs (modules are separated by unmapped guard
+// pages), and classifies each run's size against the attacker-readable
+// /proc/modules size table. Modules with a unique size — 19 of the 125 on
+// the paper's Ice Lake machine — are identified by name.
+//
+// Run: go run ./examples/modulespy
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/uarch"
+)
+
+func main() {
+	m := machine.New(uarch.IceLake1065G7(), 7)
+	kernel, err := linux.Boot(m, linux.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prober, err := core.NewProber(m, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The size→name table comes from /proc/modules — world-readable.
+	table := core.SizeTable(kernel.ProcModules())
+	res := core.Modules(prober, table)
+	score := core.ScoreModules(res, kernel.Modules, table)
+
+	fmt.Printf("module region scan: %d probes, %.2f ms probing (paper: 8.42 ms)\n",
+		len(res.PageMapped), m.Preset.CyclesToSeconds(res.ProbeCycles)*1e3)
+	fmt.Printf("detected %d regions; per-module detection %.2f%% (paper: 99.72%%)\n\n",
+		len(res.Regions), 100*score.DetectionAccuracy())
+
+	// Figure 5's five example modules.
+	fmt.Println("Figure 5 examples:")
+	for _, name := range []string{"autofs4", "x_tables", "video", "mac_hid", "pinctrl_icelake"} {
+		lm, _ := kernel.Module(name)
+		for _, r := range res.Regions {
+			if r.Base != lm.Base {
+				continue
+			}
+			off := (uint64(r.Base) - uint64(linux.ModuleRegionBase)) >> 12
+			tag := "identified uniquely"
+			if !r.Unique() {
+				tag = "size collision — candidates " + strings.Join(r.Names, "|")
+			}
+			fmt.Printf("  offset %5d  size %#7x  %-16s → %s\n", off, r.Size, name, tag)
+		}
+	}
+
+	fmt.Printf("\nuniquely-sized modules correctly named: %d/%d\n", score.Identified, score.UniqueSize)
+}

@@ -1,0 +1,60 @@
+// Quickstart: break Linux KASLR with the AVX timing side channel in a few
+// lines — the paper's headline result (§IV-B, Figure 4, Table I row 1).
+//
+// The flow every attack in this library follows:
+//
+//  1. build a victim machine (CPU preset + OS layout),
+//  2. calibrate a prober (the §IV-B dirty-store threshold trick),
+//  3. probe with fault-suppressed masked loads and read the timings.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/uarch"
+)
+
+func main() {
+	// The victim: a Meltdown-resistant Alder Lake desktop running Linux
+	// with KASLR, exactly the Figure 4 setup. The seed randomizes the
+	// boot (KASLR slot, module placement).
+	m := machine.New(uarch.AlderLake12400F(), 2026)
+	kernel, err := linux.Boot(m, linux.Config{Seed: 2026})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The attacker: an unprivileged process. NewProber mmaps a few of its
+	// own pages and times first-stores to calibrate the mapped/unmapped
+	// decision threshold — no kernel access needed.
+	prober, err := core.NewProber(m, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The attack: probe all 512 candidate 2 MiB slots with double-executed
+	// masked loads (all-zero masks — never a page fault) and take the
+	// first fast slot.
+	res, err := core.KernelBase(prober)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("recovered kernel base: %#x (KASLR slide %#x)\n", uint64(res.Base), res.Slide)
+	fmt.Printf("ground truth:          %#x\n", uint64(kernel.Base))
+	fmt.Printf("probing runtime:       %.0f µs (paper: 67 µs)\n", res.ProbeSeconds(m.Preset)*1e6)
+	fmt.Printf("total runtime:         %.2f ms (paper: 0.28 ms)\n", res.TotalSeconds(m.Preset)*1e3)
+	fmt.Printf("page faults delivered: %d (fault suppression — property P1)\n", prober.Faults())
+
+	if res.Base == kernel.Base {
+		fmt.Println("\nKASLR defeated.")
+	} else {
+		fmt.Println("\nattack missed — rerun with another seed (expected ~0.4% of boots).")
+	}
+}

@@ -1,0 +1,113 @@
+// Sgxbreak: fine-grained user-space ASLR break from inside an SGX enclave
+// (§IV-F, Figure 7). The enclave-confined attacker linearly probes the
+// process's address space with fault-suppressed masked loads to find the
+// executable, then runs the two-pass load+store permission scan and
+// identifies libc by its section-size signature — including rw- pages that
+// never appear in /proc/PID/maps.
+//
+// The paper's 28-bit scan takes 51 s (load) + 44 s (store) on the Ice Lake
+// part; this example scales the entropy down (flag -entropy) and prints
+// the extrapolation.
+//
+// Run: go run ./examples/sgxbreak [-entropy 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/paging"
+	"repro/internal/sgx"
+	"repro/internal/uarch"
+	"repro/internal/userspace"
+)
+
+func main() {
+	entropy := flag.Int("entropy", 16, "user-ASLR entropy bits (paper: 28)")
+	flag.Parse()
+
+	m := machine.New(uarch.IceLake1065G7(), 13)
+	if _, err := linux.Boot(m, linux.Config{Seed: 13}); err != nil {
+		log.Fatal(err)
+	}
+	proc, err := userspace.Build(m, userspace.Config{
+		Seed:           13,
+		EntropyBits:    *entropy,
+		HideLastRWPage: true, // the /proc-invisible pages of Fig. 7
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("victim process /proc/PID/maps (what the OS admits to):")
+	fmt.Println(proc.RenderMaps())
+
+	// Enter the enclave: probes now pay EPCM overhead, and timing needs
+	// the SGX2 RDTSC.
+	enclave, err := sgx.Enter(m, sgx.RDTSC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer enclave.Exit()
+
+	prober, err := core.NewProber(m, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find the executable by linear probing from the region base.
+	base, probes, ok := core.ScanUntilMapped(prober, userspace.ExeRegionBase, (1<<*entropy)+1024)
+	if !ok {
+		log.Fatal("executable not found")
+	}
+	fmt.Printf("exe code base found: %#x after %d probes (truth %#x)\n\n",
+		uint64(base), probes, uint64(proc.Exe.Base))
+
+	// Recover the section map of the library area with the two-pass scan.
+	libStart := proc.Libs[0].Base - 16*paging.Page4K
+	libEnd := proc.Libs[len(proc.Libs)-1].End() + 8*paging.Page4K
+	scan := core.UserScan(prober, libStart, libEnd)
+
+	fmt.Println("recovered map (attack view, Fig. 7 notation):")
+	for _, rg := range scan.Regions {
+		fmt.Printf("  %#x-%#x %-12s %4d pages\n", uint64(rg.Start), uint64(rg.End), rg.Class, rg.Pages())
+	}
+
+	found := core.FingerprintLibraries(scan.Regions, userspace.StandardLibraries())
+	fmt.Println("\nlibraries identified by section-size signature:")
+	for _, lib := range proc.Libs {
+		if addr, ok := found[lib.Image.Name]; ok {
+			mark := "correct"
+			if addr != lib.Base {
+				mark = "WRONG"
+			}
+			fmt.Printf("  %-22s %#x [%s]\n", lib.Image.Name, uint64(addr), mark)
+		}
+	}
+
+	fmt.Printf("\nscan runtime at %d bits: load %.3g s, store %.3g s\n",
+		*entropy, m.Preset.CyclesToSeconds(scan.LoadCycles), m.Preset.CyclesToSeconds(scan.StoreCycles))
+
+	// Full-scale projection: the paper probes the whole 28-bit range
+	// twice; almost all of it is unmapped, so the per-probe cost on
+	// unmapped space is what scales.
+	t0 := m.RDTSC()
+	const calib = 2048
+	for i := 0; i < calib; i++ {
+		prober.ProbeMapped(0x600000000000 + paging.VirtAddr(i*paging.Page4K))
+	}
+	perLoad := float64(m.RDTSC()-t0) / calib
+	t0 = m.RDTSC()
+	for i := 0; i < calib; i++ {
+		prober.ProbeMappedStore(0x600000000000 + paging.VirtAddr(i*paging.Page4K))
+	}
+	perStore := float64(m.RDTSC()-t0) / calib
+	full := float64(uint64(1) << 28)
+	fmt.Printf("projected full 28-bit scan: ~%.0f s load / ~%.0f s store (paper: 51 / 44 s)\n",
+		m.Preset.CyclesToSeconds(uint64(perLoad*full)),
+		m.Preset.CyclesToSeconds(uint64(perStore*full)))
+}

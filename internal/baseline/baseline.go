@@ -1,0 +1,142 @@
+// Package baseline implements two prior KASLR breaks on the same simulated
+// machine, for the practicality comparison the paper's introduction makes:
+//
+//   - the software-prefetch attack (Gruss et al., CCS 2016): PREFETCH
+//     never faults and its latency leaks translation state, but the signal
+//     is small, so the attack needs heavy repetition and noise filtering;
+//   - the Intel TSX attack ("DrK", Jang et al., CCS 2016): access kernel
+//     addresses inside a transaction and time the abort — fast and
+//     reliable, but requires TSX hardware (fused off on most recent
+//     parts).
+//
+// The comparison bench contrasts probes-per-decision, runtime and
+// hardware prerequisites against the AVX attack.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/paging"
+	"repro/internal/stats"
+)
+
+// PrefetchResult is the prefetch-attack outcome.
+type PrefetchResult struct {
+	Base        paging.VirtAddr
+	TotalCycles uint64
+	// Repetitions is the per-slot sample count the attack needed.
+	Repetitions int
+}
+
+// PrefetchKASLR mounts the prefetch baseline: time PREFETCH at every slot,
+// many times (the prefetch signal is a few cycles against tens of cycles of
+// jitter, so it min-filters over many repetitions), and pick mapped slots
+// by a calibration-free relative threshold.
+func PrefetchKASLR(m *machine.Machine, repetitions int) (PrefetchResult, error) {
+	if repetitions <= 0 {
+		repetitions = 16
+	}
+	start := m.RDTSC()
+	res := PrefetchResult{Repetitions: repetitions}
+
+	mins := make([]float64, linux.TextSlots)
+	for slot := 0; slot < linux.TextSlots; slot++ {
+		va := linux.TextRegionBase + paging.VirtAddr(uint64(slot)<<21)
+		// Warm-up prefetch loads the TLB for mapped slots.
+		m.ExecPrefetch(va)
+		best := 0.0
+		for i := 0; i < repetitions; i++ {
+			t := m.MeasurePrefetch(va)
+			if i == 0 || t < best {
+				best = t
+			}
+		}
+		mins[slot] = best
+	}
+	res.TotalCycles = m.RDTSC() - start
+
+	// Relative threshold: midway between the global min (TLB-hit class)
+	// and median (walk class).
+	s := &stats.Sample{}
+	for _, v := range mins {
+		s.Add(v)
+	}
+	thr := (s.Min() + s.Median()) / 2
+	for slot, v := range mins {
+		if v <= thr {
+			res.Base = linux.TextRegionBase + paging.VirtAddr(uint64(slot)<<21)
+			break
+		}
+	}
+	if res.Base == 0 {
+		return res, fmt.Errorf("baseline: prefetch attack found no mapped slot")
+	}
+	return res, nil
+}
+
+// TSXResult is the DrK-attack outcome.
+type TSXResult struct {
+	Base        paging.VirtAddr
+	TotalCycles uint64
+	// Supported is false when the part has no TSX (the attack cannot run;
+	// the paper's motivation for an AVX-only channel).
+	Supported bool
+}
+
+// tsxParts lists preset-name substrings with usable TSX. Alder Lake and
+// Zen parts have none; Ice Lake client parts shipped with TSX disabled.
+var tsxParts = []string{"i9-9900", "i7-6600U", "Xeon"}
+
+// HasTSX reports whether the machine's CPU model exposes TSX.
+func HasTSX(m *machine.Machine) bool {
+	for _, s := range tsxParts {
+		if containsStr(m.Preset.Name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// TSXKASLR mounts the DrK baseline: probe each slot once inside a
+// transaction and split abort times by a relative threshold.
+func TSXKASLR(m *machine.Machine) (TSXResult, error) {
+	res := TSXResult{Supported: HasTSX(m)}
+	if !res.Supported {
+		return res, fmt.Errorf("baseline: %s has no TSX", m.Preset.Name)
+	}
+	start := m.RDTSC()
+	times := make([]float64, linux.TextSlots)
+	for slot := 0; slot < linux.TextSlots; slot++ {
+		va := linux.TextRegionBase + paging.VirtAddr(uint64(slot)<<21)
+		m.ExecTSXProbe(va) // warm-up fills TLB for mapped slots
+		times[slot] = m.ExecTSXProbe(va)
+	}
+	res.TotalCycles = m.RDTSC() - start
+
+	s := &stats.Sample{}
+	for _, v := range times {
+		s.Add(v)
+	}
+	thr := (s.Min() + s.Median()) / 2
+	for slot, v := range times {
+		if v <= thr {
+			res.Base = linux.TextRegionBase + paging.VirtAddr(uint64(slot)<<21)
+			break
+		}
+	}
+	if res.Base == 0 {
+		return res, fmt.Errorf("baseline: TSX attack found no mapped slot")
+	}
+	return res, nil
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

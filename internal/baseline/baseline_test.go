@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/uarch"
+)
+
+func TestPrefetchKASLRWorks(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		m := machine.New(uarch.AlderLake12400F(), seed)
+		k, err := linux.Boot(m, linux.Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := PrefetchKASLR(m, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Base != k.Base {
+			t.Fatalf("seed %d: found %#x, want %#x", seed, uint64(res.Base), uint64(k.Base))
+		}
+	}
+}
+
+func TestPrefetchNeedsMoreProbesThanAVX(t *testing.T) {
+	m := machine.New(uarch.AlderLake12400F(), 9)
+	if _, err := linux.Boot(m, linux.Config{Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := PrefetchKASLR(m, 0) // default repetitions
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repetitions <= 2 {
+		t.Fatalf("prefetch baseline uses %d reps — the AVX advantage story needs >2", res.Repetitions)
+	}
+}
+
+func TestTSXRefusesWithoutTSX(t *testing.T) {
+	m := machine.New(uarch.AlderLake12400F(), 1)
+	if _, err := linux.Boot(m, linux.Config{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if HasTSX(m) {
+		t.Fatal("Alder Lake claims TSX")
+	}
+	if _, err := TSXKASLR(m); err == nil {
+		t.Fatal("TSX attack ran without TSX")
+	}
+}
+
+func TestTSXWorksOnCoffeeLake(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		m := machine.New(uarch.CoffeeLake9900(), seed)
+		k, err := linux.Boot(m, linux.Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !HasTSX(m) {
+			t.Fatal("Coffee Lake lost TSX")
+		}
+		res, err := TSXKASLR(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Base != k.Base {
+			t.Fatalf("seed %d: found %#x, want %#x", seed, uint64(res.Base), uint64(k.Base))
+		}
+	}
+}
+
+func TestBaselinesNeverFault(t *testing.T) {
+	m := machine.New(uarch.CoffeeLake9900(), 5)
+	if _, err := linux.Boot(m, linux.Config{Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Counters.Snapshot()
+	if _, err := PrefetchKASLR(m, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TSXKASLR(m); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Counters.Delta(before)
+	for ev, n := range d {
+		if ev.String() == "FAULTS.PF" && n > 0 {
+			t.Fatal("baseline delivered page faults")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package behavior generates the victim-activity timelines of §IV-E: user
+// actions (Bluetooth audio streaming, mouse movement, keystrokes) that make
+// the kernel execute the corresponding driver module, leaving its address
+// translations in the TLB — the observable the spy process samples.
+package behavior
+
+import (
+	"fmt"
+
+	"repro/internal/linux"
+	"repro/internal/rng"
+)
+
+// Activity is one kind of user behavior and the module that services it.
+type Activity struct {
+	// Name labels the activity (for plots).
+	Name string
+	// Module is the kernel module whose code runs while active.
+	Module string
+	// PagesTouched is how many of the module's leading pages each event
+	// touches (the spy probes "the first 10 pages", §IV-E).
+	PagesTouched int
+	// EventHz is the event rate while the activity is on (e.g. Bluetooth
+	// audio ticks many times per second; mouse interrupts likewise).
+	EventHz float64
+}
+
+// BluetoothAudio is the §IV-E Bluetooth audio-streaming activity.
+func BluetoothAudio() Activity {
+	return Activity{Name: "Bluetooth audio", Module: "bluetooth", PagesTouched: 10, EventHz: 50}
+}
+
+// MouseMovement is the §IV-E mouse-movement activity.
+func MouseMovement() Activity {
+	return Activity{Name: "Mouse movements", Module: "psmouse", PagesTouched: 6, EventHz: 60}
+}
+
+// Keystrokes models keyboard input through the HID stack (the extension
+// the paper's §IV-E suggests).
+func Keystrokes() Activity {
+	return Activity{Name: "Keystrokes", Module: "usbhid", PagesTouched: 4, EventHz: 12}
+}
+
+// Interval is a half-open [Start, End) activity window in seconds.
+type Interval struct{ Start, End float64 }
+
+// Contains reports whether t falls inside the interval.
+func (iv Interval) Contains(t float64) bool { return t >= iv.Start && t < iv.End }
+
+// Timeline is one activity's on/off schedule over an experiment.
+type Timeline struct {
+	Activity Activity
+	On       []Interval
+}
+
+// ActiveAt reports whether the activity is on at time t.
+func (tl *Timeline) ActiveAt(t float64) bool {
+	for _, iv := range tl.On {
+		if iv.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// RandomTimeline builds a timeline over [0, duration) with activity bursts:
+// alternating off/on periods drawn from exponential holding times.
+func RandomTimeline(act Activity, duration float64, meanOff, meanOn float64, r *rng.Source) *Timeline {
+	tl := &Timeline{Activity: act}
+	t := r.Exponential(meanOff)
+	for t < duration {
+		on := r.Exponential(meanOn)
+		end := t + on
+		if end > duration {
+			end = duration
+		}
+		tl.On = append(tl.On, Interval{Start: t, End: end})
+		t = end + r.Exponential(meanOff)
+	}
+	return tl
+}
+
+// FixedTimeline builds a timeline from explicit windows.
+func FixedTimeline(act Activity, on ...Interval) *Timeline {
+	return &Timeline{Activity: act, On: on}
+}
+
+// Driver replays one or more timelines against a booted kernel: at each
+// Step(t) call, every activity that is on at time t fires its events,
+// touching the module's pages (filling the TLB).
+type Driver struct {
+	k         *linux.Kernel
+	timelines []*Timeline
+}
+
+// NewDriver creates a driver for the kernel. Every timeline's module must
+// be loaded.
+func NewDriver(k *linux.Kernel, timelines ...*Timeline) (*Driver, error) {
+	for _, tl := range timelines {
+		if _, ok := k.Module(tl.Activity.Module); !ok {
+			return nil, fmt.Errorf("behavior: module %q not loaded", tl.Activity.Module)
+		}
+	}
+	return &Driver{k: k, timelines: timelines}, nil
+}
+
+// Step advances the victim to time t (seconds since experiment start):
+// active modules handle their pending events and touch their pages.
+func (d *Driver) Step(t float64) error {
+	for _, tl := range d.timelines {
+		if tl.ActiveAt(t) {
+			if err := d.k.TouchModule(tl.Activity.Module, tl.Activity.PagesTouched); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Timelines returns the driver's timelines (ground truth for accuracy
+// scoring).
+func (d *Driver) Timelines() []*Timeline { return d.timelines }

@@ -1,0 +1,107 @@
+package behavior
+
+import (
+	"testing"
+
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/uarch"
+)
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Start: 2, End: 5}
+	if iv.Contains(1.9) || !iv.Contains(2) || !iv.Contains(4.9) || iv.Contains(5) {
+		t.Fatal("interval containment wrong")
+	}
+}
+
+func TestFixedTimeline(t *testing.T) {
+	tl := FixedTimeline(BluetoothAudio(), Interval{0, 10}, Interval{20, 30})
+	for tm, want := range map[float64]bool{5: true, 15: false, 25: true, 35: false} {
+		if tl.ActiveAt(tm) != want {
+			t.Errorf("ActiveAt(%v) = %v", tm, !want)
+		}
+	}
+}
+
+func TestRandomTimelineBounds(t *testing.T) {
+	r := rng.New(1)
+	tl := RandomTimeline(MouseMovement(), 100, 8, 6, r)
+	if len(tl.On) == 0 {
+		t.Fatal("no activity windows generated")
+	}
+	last := 0.0
+	for _, iv := range tl.On {
+		if iv.Start < last || iv.End <= iv.Start || iv.End > 100 {
+			t.Fatalf("bad interval %+v", iv)
+		}
+		last = iv.End
+	}
+}
+
+func TestRandomTimelineDeterministic(t *testing.T) {
+	a := RandomTimeline(BluetoothAudio(), 100, 8, 6, rng.New(7))
+	b := RandomTimeline(BluetoothAudio(), 100, 8, 6, rng.New(7))
+	if len(a.On) != len(b.On) {
+		t.Fatal("same seed, different timelines")
+	}
+	for i := range a.On {
+		if a.On[i] != b.On[i] {
+			t.Fatal("same seed, different intervals")
+		}
+	}
+}
+
+func TestActivityPresets(t *testing.T) {
+	for _, act := range []Activity{BluetoothAudio(), MouseMovement(), Keystrokes()} {
+		if act.Module == "" || act.PagesTouched <= 0 || act.EventHz <= 0 {
+			t.Errorf("bad preset %+v", act)
+		}
+	}
+	if BluetoothAudio().Module != "bluetooth" || MouseMovement().Module != "psmouse" {
+		t.Fatal("§IV-E target modules wrong")
+	}
+}
+
+func TestDriverRejectsUnloadedModule(t *testing.T) {
+	m := machine.New(uarch.IceLake1065G7(), 1)
+	k, err := linux.Boot(m, linux.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Activity{Name: "x", Module: "definitely_not_loaded", PagesTouched: 1, EventHz: 1}
+	if _, err := NewDriver(k, FixedTimeline(bad, Interval{0, 1})); err == nil {
+		t.Fatal("driver accepted unloaded module")
+	}
+}
+
+func TestDriverStepTouchesModuleTLB(t *testing.T) {
+	m := machine.New(uarch.IceLake1065G7(), 2)
+	k, err := linux.Boot(m, linux.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := FixedTimeline(BluetoothAudio(), Interval{0, 10})
+	d, err := NewDriver(k, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, _ := k.Module("bluetooth")
+	if res, _ := m.TLB.Lookup(lm.Base, m.KernelAS.ASID); res != 0 {
+		t.Fatal("module TLB-resident before any event")
+	}
+	if err := d.Step(5); err != nil { // active window
+		t.Fatal(err)
+	}
+	if res, _ := m.TLB.Lookup(lm.Base, m.KernelAS.ASID); res == 0 {
+		t.Fatal("active module not TLB-resident after Step")
+	}
+	m.EvictTLB()
+	if err := d.Step(15); err != nil { // inactive
+		t.Fatal(err)
+	}
+	if res, _ := m.TLB.Lookup(lm.Base, m.KernelAS.ASID); res != 0 {
+		t.Fatal("inactive module touched the TLB")
+	}
+}

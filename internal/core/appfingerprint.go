@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/behavior"
+	"repro/internal/linux"
+	"repro/internal/paging"
+)
+
+// AppProfile describes an application by the kernel modules its activity
+// exercises — the fingerprinting extension §IV-E sketches ("not only to
+// monitor other events (e.g., keystroke) but also to fingerprint
+// applications or websites"). A music player drives bluetooth; a shooter
+// drives psmouse+usbhid; a file sync tool drives the NIC driver; and so
+// on.
+type AppProfile struct {
+	Name string
+	// Modules lists the driver modules the app keeps active.
+	Modules []string
+}
+
+// Signature returns the sorted module list (the classification key).
+func (a AppProfile) Signature() []string {
+	s := append([]string(nil), a.Modules...)
+	sort.Strings(s)
+	return s
+}
+
+// StandardAppProfiles returns a distinguishable demo population. Every
+// referenced module has a unique mapped size on the default victim, so the
+// spy can locate them all with the module attack alone (no ground truth
+// needed).
+func StandardAppProfiles() []AppProfile {
+	return []AppProfile{
+		{Name: "music-player", Modules: []string{"bluetooth"}},
+		{Name: "fps-game", Modules: []string{"psmouse", "mac_hid"}},
+		{Name: "video-call", Modules: []string{"bluetooth", "uvcvideo-like:video"}},
+		{Name: "file-sync", Modules: []string{"e1000e"}},
+		{Name: "idle-desktop", Modules: nil},
+	}
+}
+
+// appModule resolves profile module names: entries of the form
+// "alias:real" use the real module name (lets profiles stay readable while
+// reusing the loaded-module DB).
+func appModule(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == ':' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// AppFingerprinter observes a set of module addresses and classifies the
+// foreground application by which modules show TLB activity.
+type AppFingerprinter struct {
+	P *Prober
+	// Watch maps module name → located module (from the Modules attack).
+	Watch map[string]linux.LoadedModule
+	// Profiles is the candidate population.
+	Profiles []AppProfile
+	// Ticks and TickSec control the observation window.
+	Ticks   int
+	TickSec float64
+}
+
+// observeOnce returns the set of watched modules that are TLB-hot.
+func (f *AppFingerprinter) observeOnce() map[string]bool {
+	hot := make(map[string]bool)
+	for name, lm := range f.Watch {
+		best := 0.0
+		for pg := 0; pg < 4 && uint64(pg)<<12 < lm.Size; pg++ {
+			pr := f.P.ProbeTLB(lm.Base + paging4k(pg))
+			if pg == 0 || pr.Cycles < best {
+				best = pr.Cycles
+			}
+		}
+		if f.P.Threshold.Classify(best) {
+			hot[name] = true
+		}
+	}
+	return hot
+}
+
+// Classify runs the observation loop against a victim driver and returns
+// the best-matching profile. The victim is stepped through simulated time
+// exactly like the Fig. 6 spy.
+func (f *AppFingerprinter) Classify(d *behavior.Driver) (AppProfile, error) {
+	if f.Ticks <= 0 {
+		f.Ticks = 10
+	}
+	if f.TickSec <= 0 {
+		f.TickSec = 1
+	}
+	// Vote per tick: a module counts as "active" if hot in a majority of
+	// ticks (single-tick transients are noise).
+	votes := make(map[string]int)
+	f.P.M.EvictTLB()
+	for i := 0; i < f.Ticks; i++ {
+		if err := d.Step(float64(i) * f.TickSec); err != nil {
+			return AppProfile{}, err
+		}
+		f.P.M.AdvanceSeconds(f.TickSec)
+		for name := range f.observeOnce() {
+			votes[name]++
+		}
+		f.P.M.EvictTLB()
+	}
+	var active []string
+	for name, n := range votes {
+		if n > f.Ticks/2 {
+			active = append(active, name)
+		}
+	}
+	sort.Strings(active)
+
+	// Exact-set match against the profiles.
+	for _, prof := range f.Profiles {
+		want := make([]string, 0, len(prof.Modules))
+		for _, mn := range prof.Modules {
+			want = append(want, appModule(mn))
+		}
+		sort.Strings(want)
+		if equalStrings(active, want) {
+			return prof, nil
+		}
+	}
+	return AppProfile{}, fmt.Errorf("core: no profile matches active set %v", active)
+}
+
+// TimelinesFor builds always-on timelines for an app profile over a
+// window, for driving the victim in tests and demos.
+func TimelinesFor(prof AppProfile, duration float64) []*behavior.Timeline {
+	var tls []*behavior.Timeline
+	for _, mn := range prof.Modules {
+		act := behavior.Activity{
+			Name:         prof.Name + "/" + mn,
+			Module:       appModule(mn),
+			PagesTouched: 4,
+			EventHz:      30,
+		}
+		tls = append(tls, behavior.FixedTimeline(act, behavior.Interval{Start: 0, End: duration}))
+	}
+	return tls
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// paging4k converts a page index to a byte offset.
+func paging4k(pg int) paging.VirtAddr { return paging.VirtAddr(uint64(pg) << 12) }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/behavior"
+	"repro/internal/linux"
+	"repro/internal/paging"
+)
+
+// SpySample is one spy-tick observation of one monitored module.
+type SpySample struct {
+	TimeSec float64
+	// MinCycles is the fastest probe over the module's leading pages; a
+	// TLB-resident translation pulls it down to the assist-only latency.
+	MinCycles float64
+	// Active is the spy's verdict: the module was used since the last tick.
+	Active bool
+}
+
+// SpyTrace is one module's observation series (one panel of Figure 6).
+type SpyTrace struct {
+	Module  string
+	Samples []SpySample
+}
+
+// Accuracy scores the trace against ground truth activity windows.
+func (t SpyTrace) Accuracy(tl *behavior.Timeline) float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, s := range t.Samples {
+		if s.Active == tl.ActiveAt(s.TimeSec) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(t.Samples))
+}
+
+// BehaviorSpy mounts the §IV-E user-behavior inference: a spy process
+// repeats the TLB attack (P4) against the leading pages of target kernel
+// modules at tick intervals. When the victim uses the device (Bluetooth
+// audio, mouse movement), the kernel executes the module and its
+// translations become TLB-resident, so the spy's probes run fast.
+//
+// The spy needs the modules' addresses — obtained beforehand with the
+// Modules attack; here they are passed in as located modules.
+type BehaviorSpy struct {
+	P *Prober
+	// Targets are the monitored modules.
+	Targets []linux.LoadedModule
+	// PagesPerModule is how many leading pages each tick probes
+	// ("the first 10 pages", §IV-E).
+	PagesPerModule int
+	// TickSec is the sampling interval (1 s in the paper).
+	TickSec float64
+}
+
+// Run replays the experiment for duration seconds against the victim
+// driver: each tick the victim acts per its timelines, then the spy probes
+// and evicts. Returns one trace per target, aligned with the driver's
+// timelines.
+func (s *BehaviorSpy) Run(d *behavior.Driver, duration float64) ([]SpyTrace, error) {
+	if s.PagesPerModule <= 0 {
+		s.PagesPerModule = 10
+	}
+	if s.TickSec <= 0 {
+		s.TickSec = 1.0
+	}
+	traces := make([]SpyTrace, len(s.Targets))
+	for i, t := range s.Targets {
+		traces[i].Module = t.Name
+	}
+
+	// Start from a clean TLB so tick 1 reflects only post-start activity.
+	s.P.M.EvictTLB()
+
+	for t := 0.0; t < duration; t += s.TickSec {
+		// Victim activity during this tick.
+		if err := d.Step(t); err != nil {
+			return nil, err
+		}
+		s.P.M.AdvanceSeconds(s.TickSec)
+
+		// Spy: probe each target module's leading pages, then evict so the
+		// next tick starts fresh.
+		for i, target := range s.Targets {
+			min := 0.0
+			for pg := 0; pg < s.PagesPerModule; pg++ {
+				va := target.Base + paging.VirtAddr(pg*paging.Page4K)
+				if uint64(va) >= uint64(target.End()) {
+					break
+				}
+				pr := s.P.ProbeTLB(va)
+				if pg == 0 || pr.Cycles < min {
+					min = pr.Cycles
+				}
+			}
+			traces[i].Samples = append(traces[i].Samples, SpySample{
+				TimeSec:   t,
+				MinCycles: min,
+				Active:    s.P.Threshold.Classify(min),
+			})
+		}
+		s.P.M.EvictTLB()
+	}
+	return traces, nil
+}
+
+// LocateTargets resolves target module names to loaded modules via a prior
+// Modules attack result, using unique-size classification; it falls back to
+// ground truth being unnecessary — an error is returned if a target was not
+// uniquely identified.
+func LocateTargets(res ModulesResult, names ...string) ([]linux.LoadedModule, error) {
+	var out []linux.LoadedModule
+	for _, name := range names {
+		found := false
+		for _, r := range res.Regions {
+			if r.Unique() && r.Names[0] == name {
+				out = append(out, linux.LoadedModule{
+					ModuleSpec: linux.ModuleSpec{Name: name, Size: r.Size},
+					Base:       r.Base,
+				})
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: target module %q not uniquely identified", name)
+		}
+	}
+	return out, nil
+}

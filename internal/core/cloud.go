@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/paging"
+	"repro/internal/uarch"
+	"repro/internal/winkernel"
+)
+
+// CloudProvider identifies a §IV-H scenario.
+type CloudProvider int
+
+// The three providers the paper evaluates.
+const (
+	AmazonEC2 CloudProvider = iota
+	GoogleGCE
+	MicrosoftAzure
+)
+
+// String returns the provider name.
+func (c CloudProvider) String() string {
+	switch c {
+	case AmazonEC2:
+		return "Amazon EC2"
+	case GoogleGCE:
+		return "Google GCE"
+	case MicrosoftAzure:
+		return "Microsoft Azure"
+	}
+	return "?"
+}
+
+// CloudResult is the outcome of one cloud KASLR break.
+type CloudResult struct {
+	Provider CloudProvider
+	// KernelBase is the recovered base address.
+	KernelBase paging.VirtAddr
+	// BaseCycles and ModuleCycles split the runtimes as §IV-H reports
+	// (module detection applies to the Linux guests only).
+	BaseCycles   uint64
+	ModuleCycles uint64
+	// ModulesFound is the number of detected module regions (Linux only).
+	ModulesFound int
+	// ViaTrampoline reports the KPTI-trampoline path (EC2's
+	// Meltdown-vulnerable Xeon runs KPTI; the trampoline sits at
+	// +0xe00000 on the AWS kernel).
+	ViaTrampoline bool
+}
+
+// CloudScenario describes one provider's guest configuration.
+type CloudScenario struct {
+	Provider   CloudProvider
+	Preset     *uarch.Preset
+	KPTI       bool
+	Trampoline uint64 // trampoline offset when KPTI
+	Windows    bool   // Azure runs a Windows guest
+}
+
+// Scenario returns the paper's configuration for a provider.
+func Scenario(c CloudProvider) CloudScenario {
+	switch c {
+	case AmazonEC2:
+		// Xeon E5-2676: Meltdown-vulnerable, so Linux boots with KPTI; the
+		// AWS 5.11 kernel's trampoline offset is 0xe00000.
+		return CloudScenario{Provider: c, Preset: uarch.XeonE5_2676(), KPTI: true, Trampoline: 0xe00000}
+	case GoogleGCE:
+		return CloudScenario{Provider: c, Preset: uarch.XeonCascadeLake()}
+	case MicrosoftAzure:
+		return CloudScenario{Provider: c, Preset: uarch.XeonPlatinum8171M(), Windows: true}
+	}
+	panic("core: unknown provider")
+}
+
+// CloudBreakOptions scales the Azure scan for tests (0 = full region).
+type CloudBreakOptions struct {
+	AzureMaxSlot int
+}
+
+// CloudBreak runs the §IV-H attack against one provider's guest.
+func CloudBreak(c CloudProvider, seed uint64, opt CloudBreakOptions) (CloudResult, error) {
+	sc := Scenario(c)
+	res := CloudResult{Provider: c}
+	m := machine.New(sc.Preset, seed)
+
+	if sc.Windows {
+		wk, err := winkernel.Boot(m, winkernel.Config{Seed: seed, Drivers: 24, MaxSlot: opt.AzureMaxSlot})
+		if err != nil {
+			return res, err
+		}
+		p, err := NewProber(m, Options{})
+		if err != nil {
+			return res, err
+		}
+		wr, err := WindowsKernel(p, winkernel.ImageSlots)
+		if err != nil {
+			return res, err
+		}
+		if wr.RegionBase != wk.Base {
+			return res, fmt.Errorf("core: azure scan found %#x, kernel at %#x", uint64(wr.RegionBase), uint64(wk.Base))
+		}
+		res.KernelBase = wr.RegionBase
+		res.BaseCycles = wr.TotalCycles
+		return res, nil
+	}
+
+	k, err := linux.Boot(m, linux.Config{Seed: seed, KPTI: sc.KPTI, TrampolineOffset: sc.Trampoline})
+	if err != nil {
+		return res, err
+	}
+	p, err := NewProber(m, Options{})
+	if err != nil {
+		return res, err
+	}
+	if sc.KPTI {
+		kr, err := KPTIBreak(p, sc.Trampoline)
+		if err != nil {
+			return res, err
+		}
+		res.KernelBase = kr.Base
+		res.BaseCycles = kr.TotalCycles
+		res.ViaTrampoline = true
+	} else {
+		br, err := KernelBase(p)
+		if err != nil {
+			return res, err
+		}
+		res.KernelBase = br.Base
+		res.BaseCycles = br.TotalCycles
+	}
+	if res.KernelBase != k.Base {
+		return res, fmt.Errorf("core: cloud scan found %#x, kernel at %#x", uint64(res.KernelBase), uint64(k.Base))
+	}
+
+	// Module detection (the paper reports it for both Linux clouds).
+	// Under KPTI the module area is not user-visible, so the runtime is
+	// what the paper measures on the KPTI trampoline machine's non-
+	// isolated module probing; we probe the kernel view via the same
+	// prober on non-KPTI guests and skip it under KPTI.
+	if !sc.KPTI {
+		mr := Modules(p, SizeTable(k.ProcModules()))
+		res.ModuleCycles = mr.TotalCycles
+		res.ModulesFound = len(mr.Regions)
+	} else {
+		// On EC2 the paper still detects modules: KPTI does not cover the
+		// module area on that kernel build; model by probing the kernel
+		// view directly.
+		m.InstallAddressSpaces(m.KernelAS, m.KernelAS)
+		p2, err := NewProber(m, Options{})
+		if err != nil {
+			return res, err
+		}
+		mr := Modules(p2, SizeTable(k.ProcModules()))
+		res.ModuleCycles = mr.TotalCycles
+		res.ModulesFound = len(mr.Regions)
+	}
+	return res, nil
+}

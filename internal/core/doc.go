@@ -1,0 +1,24 @@
+// Package core implements the paper's contribution: the AVX timing
+// side-channel attack framework against User and Kernel ASLR.
+//
+// The framework is built from three attack primitives (§III-C), all of
+// which rely on masked-operation fault suppression (P1):
+//
+//   - the page-table attack (Prober.ProbeMapped / Prober.ProbeTermLevel)
+//     distinguishes mapped from unmapped pages (P2) or leaks the
+//     page-table level where the walk terminates (P3);
+//   - the TLB attack (Prober.ProbeTLB) distinguishes TLB hits from misses
+//     for kernel translations (P4);
+//   - the permission attack (Prober.ProbePerm) classifies page
+//     permissions with paired masked-load/masked-store probes (P5).
+//
+// On top of the primitives, the package provides the end-to-end attacks the
+// paper evaluates: KernelBase (§IV-B), Modules (§IV-C), KPTIBreak (§IV-D),
+// BehaviorSpy (§IV-E), UserScan/LibraryFingerprint incl. SGX (§IV-F),
+// WindowsKernel/KVASBreak (§IV-G) and the cloud scenarios (§IV-H), plus the
+// n-trial evaluation harness behind Table I.
+//
+// Everything here uses only the attacker-visible machine surface: timed
+// masked operations, mmap/munmap of the attacker's own pages, TLB eviction
+// buffers, and syscalls.
+package core

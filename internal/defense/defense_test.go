@@ -1,0 +1,84 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/uarch"
+)
+
+func TestFLAREHidesPageTableSignal(t *testing.T) {
+	out, err := EvaluateFLARE(uarch.AlderLake12400F(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PageTableDistinguishes {
+		t.Fatal("FLARE failed to hide the page-mapping signal")
+	}
+}
+
+func TestFLAREBypassedByTLBAttack(t *testing.T) {
+	for seed := uint64(1); seed < 5; seed++ {
+		out, err := EvaluateFLARE(uarch.AlderLake12400F(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Bypassed() {
+			t.Fatalf("seed %d: TLB attack found %#x, kernel at %#x",
+				seed, uint64(out.TLBBaseFound), uint64(out.TrueBase))
+		}
+	}
+}
+
+func TestFGKASLRMovesFunctionsButIsBypassed(t *testing.T) {
+	hits := 0
+	for seed := uint64(1); seed < 5; seed++ {
+		out, err := EvaluateFGKASLR(uarch.AlderLake12400F(), seed, "tcp_sendmsg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Bypassed() {
+			t.Fatalf("seed %d: template attack found %#x, function at %#x",
+				seed, uint64(out.TemplateFoundPage), uint64(out.TruePage))
+		}
+		if !out.OffsetStable {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("FGKASLR never moved the target function across 4 boots")
+	}
+}
+
+func TestFGKASLRUnknownTarget(t *testing.T) {
+	if _, err := EvaluateFGKASLR(uarch.AlderLake12400F(), 1, "no_such_function"); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestRerandomizationMitigates(t *testing.T) {
+	for seed := uint64(1); seed < 5; seed++ {
+		out, err := EvaluateRerandomization(uarch.AlderLake12400F(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.StaleHit {
+			t.Fatalf("seed %d: stale base survived re-randomization", seed)
+		}
+		if out.RecoveredBase == 0 {
+			t.Fatalf("seed %d: attack failed before re-randomization", seed)
+		}
+	}
+}
+
+func TestMaskedOpRestrictionNumbers(t *testing.T) {
+	r := UbuntuDefaultPopulation()
+	if r.TotalExecutables != 4104 || r.UsingMaskedOps != 6 {
+		t.Fatalf("population %+v, want the paper's 6/4104", r)
+	}
+	if f := r.ImpactFraction(); f < 0.001 || f > 0.002 {
+		t.Fatalf("impact %v", f)
+	}
+	if (MaskedOpRestriction{}).ImpactFraction() != 0 {
+		t.Fatal("zero population should have zero impact")
+	}
+}

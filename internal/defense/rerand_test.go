@@ -1,0 +1,42 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/uarch"
+)
+
+func TestRerandomizationSweep(t *testing.T) {
+	periods := []float64{10, 1, 0.1, 0.01, 0.001, 0.0001, 0.00001}
+	points, attackSec, err := RerandomizationSweep(uarch.AlderLake12400F(), 5, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attackSec <= 0 || attackSec > 0.01 {
+		t.Fatalf("attack runtime %v s out of expected band", attackSec)
+	}
+	if len(points) != len(periods) {
+		t.Fatalf("points %d", len(points))
+	}
+	// The exploitation window shrinks monotonically with the period and
+	// crosses zero once the period falls to ~2× the attack runtime.
+	for i := 1; i < len(points); i++ {
+		if points[i].WindowSec >= points[i-1].WindowSec {
+			t.Fatalf("window not shrinking: %+v after %+v", points[i], points[i-1])
+		}
+	}
+	if !points[0].Exploitable {
+		t.Fatal("a 10 s re-randomization period should leave the attack exploitable")
+	}
+	last := points[len(points)-1]
+	if last.Exploitable {
+		t.Fatalf("a %.0f µs period should defeat a %.0f µs attack", last.PeriodSec*1e6, attackSec*1e6)
+	}
+	// The crossover sits where period/2 ≈ attack runtime.
+	for _, pt := range points {
+		want := pt.PeriodSec/2 > attackSec
+		if pt.Exploitable != want {
+			t.Fatalf("crossover wrong at period %v: %+v (attack %v)", pt.PeriodSec, pt, attackSec)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScaleDefaults(t *testing.T) {
+	sc := DefaultScale()
+	if sc.Samples <= 0 || sc.TrialsBase <= 0 || sc.TrialsModules <= 0 {
+		t.Fatalf("zero defaults: %+v", sc)
+	}
+	if sc.UserEntropyBits <= 0 || sc.UserEntropyBits > 28 {
+		t.Fatalf("entropy %d", sc.UserEntropyBits)
+	}
+	if sc.BehaviorSeconds != 100 {
+		t.Fatalf("behavior window %v, want the paper's 100 s", sc.BehaviorSeconds)
+	}
+}
+
+func TestPaperScaleMatchesPaper(t *testing.T) {
+	sc := PaperScale()
+	if sc.TrialsBase != 10000 {
+		t.Fatalf("paper trials %d, want 10000 (Table I)", sc.TrialsBase)
+	}
+	if sc.AzureMaxSlot != 0 {
+		t.Fatal("paper scale must scan the full Azure region")
+	}
+	if sc.UserEntropyBits <= DefaultScale().UserEntropyBits {
+		t.Fatal("paper scale should raise the user-scan entropy")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{
+		ID: "Fig. X", Title: "test", PaperClaim: "a", Measured: "b", OK: true,
+		Text: "body\n",
+	}
+	s := r.String()
+	for _, want := range []string{"Fig. X", "SHAPE OK", "paper:    a", "measured: b", "body"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	r.OK = false
+	if !strings.Contains(r.String(), "SHAPE MISMATCH") {
+		t.Error("mismatch verdict missing")
+	}
+}
+
+func TestAllRunsEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite")
+	}
+	sc := testScale()
+	reports := All(sc)
+	if len(reports) != 16 {
+		t.Fatalf("All ran %d experiments, want 16", len(reports))
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		if r.ID == "" {
+			t.Fatal("experiment without ID")
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment ID %q", r.ID)
+		}
+		seen[r.ID] = true
+		if !r.OK {
+			t.Errorf("%s: %s", r.ID, r.Measured)
+		}
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	sc := testScale()
+	a := Fig4KernelBaseScan(sc)
+	b := Fig4KernelBaseScan(sc)
+	if a.Measured != b.Measured {
+		t.Fatalf("same seed, different results:\n%s\n%s", a.Measured, b.Measured)
+	}
+}

@@ -1,0 +1,80 @@
+// Module database: the default victim module set models the Ubuntu 18.04.3
+// (kernel 5.4.0-81) machine of §IV-C — 125 loaded modules, of which 19 have
+// a unique mapped size. Sizes are what /proc/modules reports, rounded to
+// whole pages as the loader maps them.
+//
+// The five modules of Figure 5 are present with the paper's sizes:
+// autofs4 and x_tables share 0xB000 (indistinguishable by size), while
+// video (0xC000), mac_hid (0x4000) and pinctrl_icelake (0x6000) are unique.
+
+package linux
+
+// uniqueSized are the 19 modules whose mapped size identifies them exactly.
+var uniqueSized = []ModuleSpec{
+	{Name: "video", Size: 0xC000},
+	{Name: "mac_hid", Size: 0x4000},
+	{Name: "pinctrl_icelake", Size: 0x6000},
+	{Name: "kvm", Size: 0x51000},
+	{Name: "i915", Size: 0x45000},
+	{Name: "bluetooth", Size: 0x31000},
+	{Name: "mac80211", Size: 0x25000},
+	{Name: "drm", Size: 0x21000},
+	{Name: "iwlwifi", Size: 0x1F000},
+	{Name: "nf_tables", Size: 0x1D000},
+	{Name: "snd_hda_codec", Size: 0x1B000},
+	{Name: "nvme", Size: 0x19000},
+	{Name: "thunderbolt", Size: 0x17000},
+	{Name: "e1000e", Size: 0x15000},
+	{Name: "btusb", Size: 0x13000},
+	{Name: "psmouse", Size: 0x11000},
+	{Name: "aesni_intel", Size: 0xF000},
+	{Name: "snd_pcm", Size: 0x7000},
+	{Name: "mei", Size: 0x5000},
+}
+
+// sharedSizes is the pool of sizes that occur on several modules each.
+var sharedSizes = []uint64{
+	0x8000, 0xB000, 0x10000, 0x14000, 0x18000,
+	0x1C000, 0x20000, 0x24000, 0x28000, 0x2C000,
+	0x30000, 0x9000, 0xA000, 0xD000, 0xE000,
+}
+
+// sharedNames are the remaining 104 modules; each is assigned a size from
+// sharedSizes round-robin, so every shared size occurs at least six times.
+var sharedNames = []string{
+	"snd_hda_intel", "snd_hda_codec_realtek", "snd_hda_codec_generic", "snd_hda_codec_hdmi",
+	"snd_hwdep", "snd_seq", "snd_seq_device", "snd_rawmidi", "snd_timer", "soundcore",
+	"ledtrig_audio", "iwlmvm", "cfg80211", "btrtl", "btbcm", "btintel", "rfcomm", "bnep",
+	"ecdh_generic", "ecc", "nf_conntrack", "nf_defrag_ipv4", "nf_defrag_ipv6", "libcrc32c",
+	"ip_tables", "iptable_filter", "iptable_nat", "nft_chain_nat", "nf_nat", "bridge",
+	"stp", "llc", "overlay", "binfmt_misc", "nls_iso8859_1", "intel_rapl_msr",
+	"intel_rapl_common", "x86_pkg_temp_thermal", "intel_powerclamp", "coretemp",
+	"kvm_intel", "crct10dif_pclmul", "crc32_pclmul", "ghash_clmulni_intel", "crypto_simd",
+	"cryptd", "glue_helper", "rapl", "intel_cstate", "serio_raw", "input_leds", "joydev",
+	"hid_generic", "usbhid", "hid", "sch_fq_codel", "msr", "parport_pc", "ppdev", "lp",
+	"parport", "ip6_tables", "ip6table_filter", "xt_conntrack", "xt_MASQUERADE",
+	"xfrm_user", "xfrm_algo", "br_netfilter", "veth", "nvme_core", "ahci", "libahci",
+	"i2c_i801", "i2c_smbus", "xhci_pci", "xhci_pci_renesas", "intel_lpss_pci",
+	"intel_lpss", "idma64", "virt_dma", "ucsi_acpi", "typec_ucsi", "typec", "wmi",
+	"intel_hid", "sparse_keymap", "acpi_pad", "acpi_tad", "mei_me",
+	"processor_thermal_device", "intel_soc_dts_iosf", "int3403_thermal",
+	"int340x_thermal_zone", "int3400_thermal", "acpi_thermal_rel", "ttm",
+	"drm_kms_helper", "i2c_algo_bit", "fb_sys_fops", "syscopyarea", "sysfillrect",
+	"sysimgblt", "cec", "rc_core",
+}
+
+// DefaultModuleDB returns the 125-module victim set: 19 uniquely-sized
+// modules, autofs4/x_tables pinned to the colliding 0xB000, and 104 modules
+// over the shared-size pool.
+func DefaultModuleDB() []ModuleSpec {
+	db := make([]ModuleSpec, 0, 125)
+	db = append(db, uniqueSized...)
+	db = append(db,
+		ModuleSpec{Name: "autofs4", Size: 0xB000},
+		ModuleSpec{Name: "x_tables", Size: 0xB000},
+	)
+	for i, name := range sharedNames {
+		db = append(db, ModuleSpec{Name: name, Size: sharedSizes[i%len(sharedSizes)]})
+	}
+	return db
+}

@@ -1,0 +1,631 @@
+// Package machine composes the simulator: page tables, TLB and
+// paging-structure caches, the PTE-line cache, the microcode-assist model
+// and the per-CPU timing preset, behind the interface an unprivileged
+// attacker program has — execute instructions, read a cycle counter.
+//
+// The attacks in internal/core use only the attacker-visible surface:
+// Measure* (timed execution of one masked op, like an lfence;rdtsc bracket),
+// EvictTLB/EvictPTELines (attacker-constructed eviction sets), the mmap-like
+// user-mapping calls, and Syscall. The OS builders (internal/linux,
+// internal/winkernel, internal/sgx) and the experiment harness additionally
+// use the privileged surface (direct address-space construction, KernelTouch,
+// performance counters) that models the victim side.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/avx"
+	"repro/internal/paging"
+	"repro/internal/perf"
+	"repro/internal/phys"
+	"repro/internal/ptecache"
+	"repro/internal/rng"
+	"repro/internal/tlb"
+	"repro/internal/uarch"
+)
+
+// DefaultPhysMem is the physical memory given to a machine (enough for all
+// experiment layouts; page-table frames dominate).
+const DefaultPhysMem = 8 << 30
+
+// Machine is one simulated CPU + memory subsystem running one victim OS
+// image and one attacker process.
+type Machine struct {
+	Preset *uarch.Preset
+	Alloc  *phys.Allocator
+
+	// KernelAS is the full kernel view of the address space. UserAS is the
+	// page-table root active while the attacker (CPL 3) runs: identical to
+	// KernelAS without KPTI, a stripped shadow with KPTI.
+	KernelAS *paging.AddressSpace
+	UserAS   *paging.AddressSpace
+
+	TLB      *tlb.TLB
+	PSC      *tlb.PSC
+	PTELines *ptecache.Cache
+	Counters perf.Counters
+
+	// InEnclave applies the SGX per-probe overhead when true.
+	InEnclave bool
+
+	tsc     uint64
+	noise   *rng.Source
+	backing map[phys.PFN]*[phys.FrameSize]byte
+
+	visitBuf []phys.PFN
+	elemBuf  [8]uint32
+}
+
+// New creates a machine with the given preset and deterministic seed.
+// The machine starts with a single (non-KPTI) empty address space; OS
+// builders replace the address spaces with their layouts.
+func New(p *uarch.Preset, seed uint64) *Machine {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	alloc := phys.NewAllocator(DefaultPhysMem)
+	as := paging.NewAddressSpace(alloc)
+	m := &Machine{
+		Preset:   p,
+		Alloc:    alloc,
+		KernelAS: as,
+		UserAS:   as,
+		TLB:      tlb.NewTLB(tlb.DefaultTLBConfig()),
+		PSC:      tlb.NewPSC(),
+		PTELines: ptecache.New(1024, 8),
+		noise:    rng.New(seed),
+		backing:  make(map[phys.PFN]*[phys.FrameSize]byte),
+	}
+	return m
+}
+
+// InstallAddressSpaces sets the kernel and user address-space roots. For a
+// non-KPTI system pass the same space twice.
+func (m *Machine) InstallAddressSpaces(kernel, user *paging.AddressSpace) {
+	m.KernelAS = kernel
+	m.UserAS = user
+	m.TLB.Flush(false)
+	m.PSC.Flush()
+}
+
+// KPTIEnabled reports whether the user view differs from the kernel view.
+func (m *Machine) KPTIEnabled() bool { return m.KernelAS != m.UserAS }
+
+// RDTSC returns the current simulated time-stamp counter.
+func (m *Machine) RDTSC() uint64 { return m.tsc }
+
+// AdvanceCycles moves simulated time forward (attacker think-time, sleeps).
+func (m *Machine) AdvanceCycles(c uint64) { m.tsc += c }
+
+// AdvanceSeconds moves simulated time forward by wall time.
+func (m *Machine) AdvanceSeconds(s float64) {
+	m.tsc += uint64(s * m.Preset.TSCGHz * 1e9)
+}
+
+// Seconds converts a cycle delta to seconds on this machine's clock.
+func (m *Machine) Seconds(cycles uint64) float64 { return m.Preset.CyclesToSeconds(cycles) }
+
+// Result is the outcome of executing one instruction.
+type Result struct {
+	// Cycles is the architectural latency of the instruction, without
+	// measurement overhead or noise.
+	Cycles float64
+	// Faulted reports a delivered #PF (the attack failed to suppress).
+	Faulted bool
+	// Assist reports a microcode assist fired.
+	Assist bool
+	// TLBHit reports whether the first page's translation came from the
+	// TLB (either level).
+	TLBHit bool
+	// Walked reports whether at least one page-table walk ran.
+	Walked bool
+	// TermLevel is the termination level of the first walk (LevelNone if
+	// no walk ran).
+	TermLevel paging.Level
+	// Data holds the loaded elements of a masked load (masked-out
+	// elements read as zero, matching VMASKMOV's zeroing semantics).
+	Data [8]uint32
+}
+
+// pageInfo is the machine-level translation of one page for an access.
+type pageInfo struct {
+	walk    paging.Walk
+	tlbHit  bool
+	hitKind tlb.LookupResult
+	cycles  float64
+	walked  bool
+}
+
+// translate resolves va through the TLB or a timed page-table walk on the
+// address space as, charging the preset's costs. Fills the TLB according to
+// vendor rules. asUser marks an access performed while CPL 3 (attacker).
+func (m *Machine) translate(as *paging.AddressSpace, va paging.VirtAddr, asUser bool) pageInfo {
+	var pi pageInfo
+	res, entry := m.TLB.Lookup(va, as.ASID)
+	if res != tlb.Miss {
+		pi.tlbHit = true
+		pi.hitKind = res
+		if res == tlb.HitL2 {
+			pi.cycles += m.Preset.STLBHitExtra
+		}
+		if res == tlb.HitL1 {
+			m.Counters.Inc(perf.TLBHitL1)
+		} else {
+			m.Counters.Inc(perf.TLBHitL2)
+		}
+		// Synthesize the walk view from the cached entry.
+		pi.walk = paging.Walk{
+			VA:     va,
+			Mapped: true,
+			Flags:  entry.Flags(),
+			Size:   entry.Size(),
+			PFN:    entry.PFN(),
+			Dirty:  entry.Flags().Has(paging.Dirty),
+		}
+		pi.walk.TermLevel = entry.Size().LeafLevel()
+		return pi
+	}
+
+	m.Counters.Inc(perf.TLBMiss)
+	pi.walked = true
+	w := as.Translate(va, m.visitBuf)
+	m.visitBuf = w.Visited
+	pi.walk = w
+
+	// Paging-structure caches can skip the upper structures.
+	startIdx := 0
+	if lvl, ok := m.PSC.Lookup(va, as.ASID); ok {
+		m.Counters.Inc(perf.PSCHit)
+		// A PSC hit at level L means structures at and above L are
+		// skipped; the walk resumes at the structure below L.
+		startIdx = int(lvl) // LevelPML4=1 skips Visited[0], etc.
+		if startIdx > len(w.Visited) {
+			startIdx = len(w.Visited)
+		}
+	}
+	lineMisses := 0
+	for i := startIdx; i < len(w.Visited); i++ {
+		idx := entryIndexAt(va, paging.Level(i+1))
+		if !m.PTELines.Touch(w.Visited[i], idx) {
+			lineMisses++
+		}
+	}
+
+	walkCost := m.Preset.Walk.At(w.TermLevel) + float64(lineMisses)*m.Preset.PTELineMiss
+	walkCost *= m.Preset.EPTWalkMult
+	pi.cycles += walkCost
+
+	m.PSC.Fill(va, w.TermLevel, w.Mapped, as.ASID)
+
+	if w.Mapped {
+		fill := true
+		if asUser && !w.Flags.Has(paging.User) && !m.Preset.KernelTLBFill {
+			// AMD Zen 3: user-mode probes of supervisor pages do not
+			// install TLB entries (§IV-B).
+			fill = false
+		}
+		if fill {
+			m.TLB.Fill(va, w, as.ASID)
+		}
+	}
+	return pi
+}
+
+// entryIndexAt returns the paging-structure entry index va selects at a
+// level (for PTE-line addressing).
+func entryIndexAt(va paging.VirtAddr, l paging.Level) int {
+	switch l {
+	case paging.LevelPML4:
+		return int(va>>39) & 0x1ff
+	case paging.LevelPDPT:
+		return int(va>>30) & 0x1ff
+	case paging.LevelPD:
+		return int(va>>21) & 0x1ff
+	case paging.LevelPT:
+		return int(va>>12) & 0x1ff
+	}
+	return 0
+}
+
+// walkCounterFor returns the perf event for a completed walk of the access
+// kind.
+func walkCounterFor(store bool) perf.Event {
+	if store {
+		return perf.WalkCompletedStore
+	}
+	return perf.WalkCompletedLoad
+}
+
+// ExecMasked executes one AVX masked load/store as the attacker (CPL 3,
+// user page-table root). This is the instruction the side channel is built
+// on; its latency composition follows §III of the paper.
+func (m *Machine) ExecMasked(op avx.Op) Result {
+	var r Result
+	if op.Store {
+		r.Cycles = m.Preset.MaskedStoreBase
+	} else {
+		r.Cycles = m.Preset.MaskedLoadBase
+	}
+	r.TermLevel = paging.LevelNone
+
+	pages := op.Pages()
+	infos := make(map[paging.VirtAddr]pageInfo, len(pages))
+	for i, page := range pages {
+		pi := m.translate(m.UserAS, page, true)
+		infos[page] = pi
+		r.Cycles += pi.cycles
+		if pi.walked {
+			m.Counters.Inc(walkCounterFor(op.Store))
+			if !r.Walked {
+				r.Walked = true
+			}
+		}
+		if i == 0 {
+			r.TLBHit = pi.tlbHit
+			if pi.walked {
+				r.TermLevel = pi.walk.TermLevel
+			}
+		}
+	}
+
+	stateOf := func(page paging.VirtAddr) avx.PageState {
+		w := infos[page].walk
+		return avx.PageState{
+			Mapped:   w.Mapped,
+			Writable: w.Flags.Has(paging.Writable),
+			UserOK:   w.Flags.Has(paging.User),
+		}
+	}
+	dirtyPending := func(page paging.VirtAddr) bool {
+		w := infos[page].walk
+		return w.Mapped && !w.Dirty
+	}
+
+	out := avx.Evaluate(op, stateOf, dirtyPending)
+	if out.Suppressed > 0 {
+		m.Counters.Add(perf.FaultSuppressed, uint64(out.Suppressed))
+	}
+	if out.Assist {
+		r.Assist = true
+		m.Counters.Inc(perf.AssistsAny)
+		if out.Fault {
+			// The assist resolves into a delivered fault.
+			r.Faulted = true
+			m.Counters.Inc(perf.PageFault)
+			r.Cycles += m.Preset.FaultCost
+		} else {
+			r.Cycles += m.assistCost(op, infos, dirtyPending)
+		}
+	}
+
+	// Perform the architectural data movement and A/D updates for the
+	// elements that actually moved.
+	if !r.Faulted && len(out.MovedElems) > 0 {
+		m.moveData(op, out.MovedElems, &r)
+	}
+	if m.InEnclave {
+		r.Cycles += m.Preset.SGXProbeOverhead
+	}
+	m.tsc += uint64(r.Cycles)
+	return r
+}
+
+// assistCost decides which assist penalty applies: the dirty-bit assist
+// for a store whose only problem is a clean destination page, otherwise
+// the invalid/inaccessible-page assist of the access kind.
+func (m *Machine) assistCost(op avx.Op, infos map[paging.VirtAddr]pageInfo, dirtyPending func(paging.VirtAddr) bool) float64 {
+	badPage := false
+	for page, pi := range infos {
+		st := avx.PageState{
+			Mapped:   pi.walk.Mapped,
+			Writable: pi.walk.Flags.Has(paging.Writable),
+			UserOK:   pi.walk.Flags.Has(paging.User),
+		}
+		if !st.Accessible(op.Store) {
+			badPage = true
+		}
+		_ = page
+	}
+	if !badPage && op.Store {
+		m.Counters.Inc(perf.DirtyAssist)
+		return m.Preset.AssistDirty
+	}
+	if op.Store {
+		return m.Preset.AssistStore
+	}
+	return m.Preset.AssistLoad
+}
+
+// moveData copies element data between the vector register and backing
+// memory for the moved elements, and performs the A/D-bit updates.
+func (m *Machine) moveData(op avx.Op, moved []int, r *Result) {
+	for _, i := range moved {
+		ea := op.ElemAddr(i)
+		page := paging.PageBase(ea, paging.Page4K)
+		w := m.UserAS.Translate(page, nil)
+		if !w.Mapped {
+			continue
+		}
+		m.UserAS.MarkAccess(page, op.Store)
+		if m.UserAS != m.KernelAS {
+			// Leaf frames are shared between the KPTI views; keep the
+			// kernel view's A/D bits coherent for user pages it also maps.
+			_ = m.KernelAS.MarkAccess(page, op.Store)
+		}
+		buf := m.frameData(w.PFN)
+		off := uint64(ea) & (phys.FrameSize - 1)
+		if int(off)+int(op.Elem) > phys.FrameSize {
+			continue // straddling element's tail page handled separately
+		}
+		if op.Store {
+			putLE32(buf[off:], m.elemBuf[i])
+		} else {
+			r.Data[i] = getLE32(buf[off:])
+		}
+	}
+	if op.Store {
+		// Refresh cached dirty state so subsequent stores are assist-free.
+		for _, page := range op.Pages() {
+			w := m.UserAS.Translate(page, nil)
+			if w.Mapped {
+				m.refreshTLBFlags(page, w)
+			}
+		}
+	}
+}
+
+// refreshTLBFlags updates any cached TLB entry's flags after an A/D change.
+func (m *Machine) refreshTLBFlags(page paging.VirtAddr, w paging.Walk) {
+	if res, e := m.TLB.Lookup(page, m.UserAS.ASID); res != tlb.Miss {
+		e.SetFlags(w.Flags)
+	}
+}
+
+// SetVector loads the source register used by subsequent masked stores.
+func (m *Machine) SetVector(vals [8]uint32) { m.elemBuf = vals }
+
+// frameData returns (lazily creating) the byte backing of a user frame.
+func (m *Machine) frameData(pfn phys.PFN) *[phys.FrameSize]byte {
+	b := m.backing[pfn]
+	if b == nil {
+		b = new([phys.FrameSize]byte)
+		m.backing[pfn] = b
+	}
+	return b
+}
+
+// ReadUser reads n bytes of user memory at va (test/diagnostic helper;
+// bypasses timing).
+func (m *Machine) ReadUser(va paging.VirtAddr, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		page := paging.PageBase(va, paging.Page4K)
+		w := m.UserAS.Translate(page, nil)
+		if !w.Mapped || !w.Flags.Has(paging.User) {
+			return nil, fmt.Errorf("machine: read of unmapped user address %#x", uint64(va))
+		}
+		buf := m.frameData(w.PFN)
+		off := int(uint64(va) & (phys.FrameSize - 1))
+		take := phys.FrameSize - off
+		if take > n {
+			take = n
+		}
+		out = append(out, buf[off:off+take]...)
+		va += paging.VirtAddr(take)
+		n -= take
+	}
+	return out, nil
+}
+
+// WriteUser writes bytes into user memory at va (test/diagnostic helper).
+func (m *Machine) WriteUser(va paging.VirtAddr, data []byte) error {
+	for len(data) > 0 {
+		page := paging.PageBase(va, paging.Page4K)
+		w := m.UserAS.Translate(page, nil)
+		if !w.Mapped || !w.Flags.Has(paging.User) {
+			return fmt.Errorf("machine: write of unmapped user address %#x", uint64(va))
+		}
+		buf := m.frameData(w.PFN)
+		off := int(uint64(va) & (phys.FrameSize - 1))
+		take := phys.FrameSize - off
+		if take > len(data) {
+			take = len(data)
+		}
+		copy(buf[off:off+take], data[:take])
+		va += paging.VirtAddr(take)
+		data = data[take:]
+	}
+	return nil
+}
+
+// Measure executes op bracketed by serializing timestamp reads and returns
+// the measured cycle count: architectural latency + fence overhead +
+// jitter (+ a rare interrupt spike). This is exactly what the PoC's
+// lfence;rdtsc;op;lfence;rdtsc loop yields.
+func (m *Machine) Measure(op avx.Op) (float64, Result) {
+	r := m.ExecMasked(op)
+	meas := r.Cycles + m.Preset.FenceOverhead + m.noiseSample()
+	if meas < 0 {
+		meas = 0
+	}
+	m.tsc += uint64(m.Preset.FenceOverhead + m.Preset.LoopOverhead)
+	return meas, r
+}
+
+// noiseSample draws one measurement-noise value.
+func (m *Machine) noiseSample() float64 {
+	sigma := m.Preset.NoiseSigma + m.Preset.ExtraNoiseSigma
+	n := m.noise.Normal(0, sigma)
+	if m.noise.Bool(m.Preset.OutlierProb) {
+		spike := m.noise.Pareto(m.Preset.OutlierScale, 1.7)
+		n += spike
+		m.tsc += uint64(spike)
+	}
+	return n
+}
+
+// ExecPrefetch executes a software-prefetch probe (the Gruss et al. 2016
+// baseline): it never faults, and its latency reflects translation state
+// only (no masked-op assist).
+func (m *Machine) ExecPrefetch(va paging.VirtAddr) Result {
+	var r Result
+	r.Cycles = m.Preset.ScalarBase
+	pi := m.translate(m.UserAS, paging.PageBase(va, paging.Page4K), true)
+	r.Cycles += pi.cycles
+	r.TLBHit = pi.tlbHit
+	r.Walked = pi.walked
+	if pi.walked {
+		m.Counters.Inc(perf.WalkCompletedLoad)
+		r.TermLevel = pi.walk.TermLevel
+	}
+	m.tsc += uint64(r.Cycles)
+	return r
+}
+
+// MeasurePrefetch is Measure for the prefetch baseline.
+func (m *Machine) MeasurePrefetch(va paging.VirtAddr) float64 {
+	r := m.ExecPrefetch(va)
+	meas := r.Cycles + m.Preset.FenceOverhead + m.noiseSample()
+	m.tsc += uint64(m.Preset.FenceOverhead + m.Preset.LoopOverhead)
+	if meas < 0 {
+		meas = 0
+	}
+	return meas
+}
+
+// TSX abort-latency constants (relative to the preset's scalar base); the
+// DrK baseline distinguishes mapped from unmapped kernel pages by abort
+// time.
+const (
+	tsxAbortBase       = 170
+	tsxAbortUnmapAdder = 40
+)
+
+// ExecTSXProbe models a DrK-style Intel TSX probe: access va inside a
+// transaction; the #PF becomes a transactional abort whose latency depends
+// on the translation outcome. Returns measured abort cycles.
+func (m *Machine) ExecTSXProbe(va paging.VirtAddr) float64 {
+	pi := m.translate(m.UserAS, paging.PageBase(va, paging.Page4K), true)
+	if pi.walked {
+		m.Counters.Inc(perf.WalkCompletedLoad)
+	}
+	c := float64(tsxAbortBase) + pi.cycles
+	if !pi.walk.Mapped {
+		c += tsxAbortUnmapAdder
+	}
+	c += m.noiseSample()
+	m.tsc += uint64(c + m.Preset.LoopOverhead)
+	return c
+}
+
+// EvictTLB models the attacker's TLB eviction: a sweep over a large
+// eviction buffer that displaces every TLB and paging-structure-cache
+// entry. The sweep's cost is charged to the attacker's clock.
+func (m *Machine) EvictTLB() {
+	m.TLB.Flush(false) // a full eviction displaces global entries too
+	m.PSC.Flush()
+	// ~2000 loads over the eviction buffer at L2-ish latency.
+	m.tsc += uint64(2000 * 14)
+}
+
+// EvictTranslation models a *targeted* eviction of one address's
+// translation state: the attacker accesses a small conflict set that
+// displaces va's TLB sets, the paging-structure-cache entries covering its
+// region, and the cache lines its walk reads. Much cheaper than a full
+// sweep (~a dozen conflicting loads), it is what makes the AMD per-probe
+// eviction affordable (§IV-B's 1.91 ms probing).
+func (m *Machine) EvictTranslation(va paging.VirtAddr) {
+	m.TLB.Invalidate(va)
+	m.PSC.Flush()
+	w := m.UserAS.Translate(paging.PageBase(va, paging.Page4K), nil)
+	for i, frame := range w.Visited {
+		idx := entryIndexAt(va, paging.Level(i+1))
+		m.PTELines.Evict(frame, idx)
+	}
+	// ~24 conflicting loads at L2-ish latency plus set-index arithmetic.
+	m.tsc += uint64(24*14 + 60)
+}
+
+// EvictPTELines models eviction of page-table data from the cache
+// hierarchy (a larger sweep; needed by the TLB-state experiment and the
+// AMD attack).
+func (m *Machine) EvictPTELines() {
+	m.PTELines.Flush()
+	m.tsc += uint64(8000)
+}
+
+// InvlpgAll models privileged INVLPG over a VA set — only the experiment
+// harness uses it (the paper loads an LKM for the level experiment).
+func (m *Machine) InvlpgAll(vas []paging.VirtAddr) {
+	for _, va := range vas {
+		m.TLB.Invalidate(va)
+	}
+	m.PSC.Flush()
+}
+
+// KernelTouch simulates the kernel accessing its own pages (syscall
+// handling, module code executing): translations are installed in the TLB
+// under the kernel root, which is what the TLB attack observes.
+func (m *Machine) KernelTouch(vas ...paging.VirtAddr) {
+	for _, va := range vas {
+		page := paging.PageBase(va, paging.Page4K)
+		w := m.KernelAS.Translate(page, nil)
+		if !w.Mapped {
+			continue
+		}
+		m.TLB.Fill(page, w, m.KernelAS.ASID)
+	}
+}
+
+// Syscall charges one kernel entry/exit and touches the given kernel
+// addresses (the kernel text the handler runs through).
+func (m *Machine) Syscall(touch ...paging.VirtAddr) {
+	m.tsc += uint64(m.Preset.SyscallCost)
+	m.KernelTouch(touch...)
+}
+
+// MapUser maps length bytes of fresh user memory at va with the given
+// permission flags (mmap model): pages are User|Present plus flags, with
+// clean (non-dirty) leaf entries. Charged as one syscall.
+func (m *Machine) MapUser(va paging.VirtAddr, length uint64, flags paging.Flags) error {
+	m.tsc += uint64(m.Preset.SyscallCost)
+	_, err := m.UserAS.MapRange(va, length, paging.Page4K, flags|paging.User)
+	return err
+}
+
+// UnmapUser unmaps length bytes at va (munmap model) and shoots down the
+// TLB the way the OS would.
+func (m *Machine) UnmapUser(va paging.VirtAddr, length uint64) error {
+	m.tsc += uint64(m.Preset.SyscallCost)
+	for off := uint64(0); off < length; off += phys.FrameSize {
+		if err := m.UserAS.Unmap(va + paging.VirtAddr(off)); err != nil {
+			return err
+		}
+		m.TLB.Invalidate(va + paging.VirtAddr(off))
+	}
+	return nil
+}
+
+// ProtectUser changes user page permissions (mprotect model).
+func (m *Machine) ProtectUser(va paging.VirtAddr, length uint64, flags paging.Flags) error {
+	m.tsc += uint64(m.Preset.SyscallCost)
+	for off := uint64(0); off < length; off += phys.FrameSize {
+		if err := m.UserAS.Protect(va+paging.VirtAddr(off), flags|paging.User); err != nil {
+			return err
+		}
+		m.TLB.Invalidate(va + paging.VirtAddr(off))
+	}
+	return nil
+}
+
+func putLE32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getLE32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,171 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/avx"
+	"repro/internal/paging"
+	"repro/internal/perf"
+	"repro/internal/uarch"
+)
+
+// Edge cases: page-boundary straddling, vector widths, perf accounting.
+
+func TestStraddlingOpTranslatesBothPages(t *testing.T) {
+	m, uva, _ := testMachine(t)
+	// Map the adjacent page too.
+	if err := m.UserAS.Map(uva+paging.Page4K, paging.Page4K, m.Alloc.Alloc(),
+		paging.User|paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	op := avx.MaskedLoad(uva+paging.Page4K-16, avx.AllMask(8))
+	before := m.Counters.Snapshot()
+	r := m.ExecMasked(op)
+	if r.Faulted {
+		t.Fatal("straddling load over two mapped pages faulted")
+	}
+	d := m.Counters.Delta(before)
+	if d[perf.WalkCompletedLoad] != 2 {
+		t.Fatalf("walks %d, want 2 (one per page)", d[perf.WalkCompletedLoad])
+	}
+}
+
+func TestStraddlingIntoUnmappedSuppressed(t *testing.T) {
+	m, uva, _ := testMachine(t)
+	// uva+4K is unmapped: the Fig. 1 boundary setup.
+	op := avx.MaskedLoad(uva+paging.Page4K-16, 0b00001111)
+	r := m.ExecMasked(op)
+	if r.Faulted {
+		t.Fatal("masked-out elements on the unmapped page faulted")
+	}
+	if !r.Assist {
+		t.Fatal("boundary op should assist")
+	}
+	// Data still moves for the mapped-page elements.
+	m.SetVector([8]uint32{1, 2, 3, 4, 5, 6, 7, 8})
+	rs := m.ExecMasked(avx.MaskedStore(uva+paging.Page4K-16, 0b00001111))
+	if rs.Faulted {
+		t.Fatal("store variant faulted")
+	}
+	got, err := m.ReadUser(uva+paging.Page4K-16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[4] != 2 || got[8] != 3 || got[12] != 4 {
+		t.Fatalf("stored bytes %v", got[:16])
+	}
+}
+
+func TestXMMWidthOp(t *testing.T) {
+	m, uva, _ := testMachine(t)
+	op := avx.Op{Store: false, Width: avx.XMM, Elem: avx.Elem32, Addr: uva, Mask: avx.AllMask(4)}
+	r := m.ExecMasked(op)
+	if r.Faulted {
+		t.Fatal("XMM load faulted")
+	}
+	if op.NumElems() != 4 {
+		t.Fatalf("XMM elems %d", op.NumElems())
+	}
+}
+
+func TestElem64Op(t *testing.T) {
+	op := avx.Op{Store: false, Width: avx.YMM, Elem: avx.Elem64, Addr: 0x1000, Mask: avx.AllMask(4)}
+	if op.NumElems() != 4 {
+		t.Fatalf("YMM/64 elems %d", op.NumElems())
+	}
+	if op.ElemAddr(3) != 0x1018 {
+		t.Fatalf("elem addr %#x", uint64(op.ElemAddr(3)))
+	}
+}
+
+func TestNonCanonicalProbeSuppressed(t *testing.T) {
+	m, _, _ := testMachine(t)
+	r := m.ExecMasked(avx.MaskedLoad(0x800000000000, avx.ZeroMask))
+	if r.Faulted {
+		t.Fatal("zero-mask probe of non-canonical address faulted")
+	}
+	if !r.Assist {
+		t.Fatal("non-canonical probe should assist")
+	}
+	// With a set mask bit it would be #GP on hardware; we deliver a fault.
+	r = m.ExecMasked(avx.MaskedLoad(0x800000000000, avx.AllMask(8)))
+	if !r.Faulted {
+		t.Fatal("set-mask non-canonical access did not fault")
+	}
+}
+
+func TestInvlpgAllDropsOnlyGivenPages(t *testing.T) {
+	m, uva, kva := testMachine(t)
+	m.ExecMasked(avx.MaskedLoad(uva, avx.ZeroMask))
+	m.ExecMasked(avx.MaskedLoad(kva, avx.ZeroMask))
+	m.InvlpgAll([]paging.VirtAddr{kva})
+	if r := m.ExecMasked(avx.MaskedLoad(kva, avx.ZeroMask)); r.TLBHit {
+		t.Fatal("INVLPG target survived")
+	}
+	if r := m.ExecMasked(avx.MaskedLoad(uva, avx.ZeroMask)); !r.TLBHit {
+		t.Fatal("INVLPG dropped an unrelated page")
+	}
+}
+
+func TestAdvanceSeconds(t *testing.T) {
+	m := New(uarch.AlderLake12400F(), 1) // 4.4 GHz
+	t0 := m.RDTSC()
+	m.AdvanceSeconds(0.5)
+	if d := m.RDTSC() - t0; d != 2_200_000_000 {
+		t.Fatalf("0.5 s advanced %d cycles", d)
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	m := New(uarch.IceLake1065G7(), 1)
+	if s := m.Seconds(1_500_000_000); s != 1.0 {
+		t.Fatalf("seconds %v", s)
+	}
+}
+
+func TestPerfCountersAcrossMixedWorkload(t *testing.T) {
+	m, uva, kva := testMachine(t)
+	before := m.Counters.Snapshot()
+	m.ExecMasked(avx.MaskedLoad(uva, avx.ZeroMask))  // walk (first touch)
+	m.ExecMasked(avx.MaskedLoad(uva, avx.ZeroMask))  // hit
+	m.ExecMasked(avx.MaskedLoad(kva, avx.ZeroMask))  // walk + assist
+	m.ExecMasked(avx.MaskedStore(kva, avx.ZeroMask)) // hit + assist
+	d := m.Counters.Delta(before)
+	if d[perf.AssistsAny] != 2 {
+		t.Fatalf("assists %d, want 2", d[perf.AssistsAny])
+	}
+	if d[perf.WalkCompletedLoad] != 2 {
+		t.Fatalf("load walks %d, want 2", d[perf.WalkCompletedLoad])
+	}
+	if d[perf.WalkCompletedStore] != 0 {
+		t.Fatalf("store walks %d, want 0 (TLB hit)", d[perf.WalkCompletedStore])
+	}
+	if d[perf.FaultSuppressed] != 16 {
+		t.Fatalf("suppressed %d, want 16 (8 per kernel op)", d[perf.FaultSuppressed])
+	}
+}
+
+func TestSetVectorRoundTripAllMaskShapes(t *testing.T) {
+	m, uva, _ := testMachine(t)
+	for mask := avx.Mask(0); mask < 255; mask += 17 {
+		vals := [8]uint32{}
+		for i := range vals {
+			vals[i] = uint32(mask)*100 + uint32(i)
+		}
+		m.SetVector(vals)
+		m.ExecMasked(avx.MaskedStore(uva, mask))
+		r := m.ExecMasked(avx.MaskedLoad(uva, mask))
+		for i := 0; i < 8; i++ {
+			if mask.Bit(i) && r.Data[i] != vals[i] {
+				t.Fatalf("mask %08b elem %d: got %d want %d", uint8(mask), i, r.Data[i], vals[i])
+			}
+			if !mask.Bit(i) && r.Data[i] != 0 {
+				t.Fatalf("mask %08b elem %d: masked-out load returned %d", uint8(mask), i, r.Data[i])
+			}
+		}
+		// Reset the page contents between mask shapes.
+		if err := m.WriteUser(uva, make([]byte, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

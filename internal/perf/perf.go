@@ -1,0 +1,94 @@
+// Package perf models the performance-counter file the paper reads in
+// §III-B (Figure 2, right panel): microcode assists (ASSISTS.ANY) and
+// completed page-table walks (DTLB_LOAD_MISSES.WALK_COMPLETED), plus a few
+// counters used by tests to check the machine's internal behaviour.
+package perf
+
+import "fmt"
+
+// Event identifies one counter.
+type Event int
+
+// Counter events.
+const (
+	// AssistsAny counts microcode assists of any kind (ASSISTS.ANY).
+	AssistsAny Event = iota
+	// WalkCompletedLoad counts completed page-table walks caused by data
+	// loads (DTLB_LOAD_MISSES.WALK_COMPLETED).
+	WalkCompletedLoad
+	// WalkCompletedStore counts completed walks caused by stores.
+	WalkCompletedStore
+	// TLBHitL1 counts first-level DTLB hits.
+	TLBHitL1
+	// TLBHitL2 counts STLB hits.
+	TLBHitL2
+	// TLBMiss counts lookups that missed both TLB levels.
+	TLBMiss
+	// PageFault counts delivered page faults (#PF).
+	PageFault
+	// FaultSuppressed counts would-be faults suppressed by masked ops.
+	FaultSuppressed
+	// PSCHit counts paging-structure-cache hits.
+	PSCHit
+	// DirtyAssist counts microcode assists taken to set a Dirty bit.
+	DirtyAssist
+	numEvents
+)
+
+// String returns the architectural-style event name.
+func (e Event) String() string {
+	switch e {
+	case AssistsAny:
+		return "ASSISTS.ANY"
+	case WalkCompletedLoad:
+		return "DTLB_LOAD_MISSES.WALK_COMPLETED"
+	case WalkCompletedStore:
+		return "DTLB_STORE_MISSES.WALK_COMPLETED"
+	case TLBHitL1:
+		return "DTLB.HIT"
+	case TLBHitL2:
+		return "STLB.HIT"
+	case TLBMiss:
+		return "DTLB.MISS"
+	case PageFault:
+		return "FAULTS.PF"
+	case FaultSuppressed:
+		return "FAULTS.SUPPRESSED"
+	case PSCHit:
+		return "PSC.HIT"
+	case DirtyAssist:
+		return "ASSISTS.DIRTY"
+	}
+	return fmt.Sprintf("Event(%d)", int(e))
+}
+
+// Counters is one bank of counters. The zero value is ready to use.
+type Counters struct {
+	counts [numEvents]uint64
+}
+
+// Inc increments event e by one.
+func (c *Counters) Inc(e Event) { c.counts[e]++ }
+
+// Add increments event e by n.
+func (c *Counters) Add(e Event, n uint64) { c.counts[e] += n }
+
+// Read returns the current count of event e.
+func (c *Counters) Read(e Event) uint64 { return c.counts[e] }
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { c.counts = [numEvents]uint64{} }
+
+// Snapshot returns a copy of the bank, for before/after deltas.
+func (c *Counters) Snapshot() Counters { return *c }
+
+// Delta returns the per-event difference c - old.
+func (c *Counters) Delta(old Counters) map[Event]uint64 {
+	d := make(map[Event]uint64)
+	for e := Event(0); e < numEvents; e++ {
+		if n := c.counts[e] - old.counts[e]; n != 0 {
+			d[e] = n
+		}
+	}
+	return d
+}

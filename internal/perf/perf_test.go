@@ -1,0 +1,56 @@
+package perf
+
+import "testing"
+
+func TestIncReadReset(t *testing.T) {
+	var c Counters
+	c.Inc(AssistsAny)
+	c.Inc(AssistsAny)
+	c.Add(TLBMiss, 5)
+	if c.Read(AssistsAny) != 2 || c.Read(TLBMiss) != 5 {
+		t.Fatalf("reads %d %d", c.Read(AssistsAny), c.Read(TLBMiss))
+	}
+	c.Reset()
+	if c.Read(AssistsAny) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	var c Counters
+	c.Inc(PageFault)
+	snap := c.Snapshot()
+	c.Inc(PageFault)
+	c.Add(WalkCompletedLoad, 3)
+	d := c.Delta(snap)
+	if d[PageFault] != 1 || d[WalkCompletedLoad] != 3 {
+		t.Fatalf("delta %v", d)
+	}
+	if _, present := d[AssistsAny]; present {
+		t.Fatal("zero-delta event present in map")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	var c Counters
+	snap := c.Snapshot()
+	c.Inc(TLBHitL1)
+	if snap.Read(TLBHitL1) != 0 {
+		t.Fatal("snapshot aliases live counters")
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	if AssistsAny.String() != "ASSISTS.ANY" {
+		t.Errorf("name %q", AssistsAny.String())
+	}
+	if WalkCompletedLoad.String() != "DTLB_LOAD_MISSES.WALK_COMPLETED" {
+		t.Errorf("name %q", WalkCompletedLoad.String())
+	}
+	// Every declared event has a non-placeholder name.
+	for e := Event(0); e < numEvents; e++ {
+		if s := e.String(); len(s) == 0 || s[0] == 'E' && s[1] == 'v' {
+			t.Errorf("event %d has placeholder name %q", e, s)
+		}
+	}
+}

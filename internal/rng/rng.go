@@ -1,0 +1,137 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// Every experiment in this repository must be reproducible from a seed, so
+// the simulator never touches math/rand's global state or any other shared
+// source. Each Machine, workload generator and noise process owns its own
+// *Source, derived from an experiment seed via Split, which guarantees that
+// adding a consumer of randomness in one subsystem does not perturb the
+// stream seen by another.
+package rng
+
+import "math"
+
+// Source is a SplitMix64 pseudo-random generator. SplitMix64 passes BigCrush,
+// has a full 2^64 period for any seed and is trivially splittable, which is
+// exactly what a deterministic multi-component simulation needs. It is not
+// cryptographically secure, which is fine: it models physical noise, not
+// secrets.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Two Sources with the same seed
+// produce identical streams.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Split derives an independent child Source. The child's stream is
+// statistically independent from the parent's subsequent output, so
+// subsystems can be seeded from a single experiment seed without
+// cross-contamination.
+func (s *Source) Split() *Source {
+	return &Source{state: s.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and branch-cheap.
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the Box–Muller transform. One value per call is
+// generated (the second variate is discarded) so the consumption pattern
+// stays simple and splice-stable.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	// Guard against log(0).
+	u1 := 1 - s.Float64()
+	u2 := s.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Pareto returns a Pareto(xm, alpha) distributed value. The simulator uses
+// Pareto tails to model interrupt/SMI latency spikes: rare but heavy.
+func (s *Source) Pareto(xm, alpha float64) float64 {
+	u := 1 - s.Float64()
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Exponential returns an exponentially distributed value with the given
+// mean (i.e. rate 1/mean).
+func (s *Source) Exponential(mean float64) float64 {
+	u := 1 - s.Float64()
+	return -mean * math.Log(u)
+}
+
+// Perm returns a pseudo-random permutation of [0, n) using Fisher–Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}

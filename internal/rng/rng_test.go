@@ -1,0 +1,200 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child's stream must not be a shifted copy of the parent's.
+	pv := make(map[uint64]bool)
+	for i := 0; i < 200; i++ {
+		pv[parent.Uint64()] = true
+	}
+	collisions := 0
+	for i := 0; i < 200; i++ {
+		if pv[child.Uint64()] {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("child stream collides with parent (%d hits)", collisions)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	err := quick.Check(func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			if s.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(99)
+	const buckets, draws = 8, 80000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	want := float64(draws) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := s.Normal(10, 3)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean %v, want ~10", mean)
+	}
+	if math.Abs(std-3) > 0.05 {
+		t.Errorf("std %v, want ~3", std)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	s := New(13)
+	const n = 100000
+	minSeen := math.Inf(1)
+	over2x := 0
+	for i := 0; i < n; i++ {
+		x := s.Pareto(100, 1.5)
+		if x < minSeen {
+			minSeen = x
+		}
+		if x > 200 {
+			over2x++
+		}
+	}
+	if minSeen < 100 {
+		t.Errorf("Pareto value below scale: %v", minSeen)
+	}
+	// P(X > 2*xm) = (1/2)^1.5 ≈ 0.3536.
+	frac := float64(over2x) / n
+	if math.Abs(frac-0.3536) > 0.01 {
+		t.Errorf("tail fraction %v, want ~0.3536", frac)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(17)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(5)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.1 {
+		t.Errorf("mean %v, want ~5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		p := s.Perm(40)
+		seen := make([]bool, 40)
+		for _, v := range p {
+			if v < 0 || v >= 40 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	s := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 28 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(29)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.2) {
+			hits++
+		}
+	}
+	if f := float64(hits) / n; math.Abs(f-0.2) > 0.01 {
+		t.Errorf("Bool(0.2) rate %v", f)
+	}
+}

@@ -1,0 +1,72 @@
+// Package sgx models the SGX enclave context of §IV-F: attack code running
+// inside an enclave, probing the host process's address space.
+//
+// Two things change relative to a plain user-space attacker:
+//
+//   - every probe is slower (enclave memory-access and EPCM-check overhead,
+//     modelled by the preset's SGXProbeOverhead) — the reason the paper's
+//     in-enclave scans take tens of seconds;
+//   - timing needs SGX2: SGX1 forbids RDTSC/RDTSCP inside an enclave, so
+//     the attack requires an SGX2 part (or a counting-thread fallback whose
+//     extra jitter this package also models).
+package sgx
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/paging"
+)
+
+// TimerSource is how the enclave obtains timestamps.
+type TimerSource int
+
+// Timer sources.
+const (
+	// RDTSC is the SGX2 high-precision timer (the paper's configuration).
+	RDTSC TimerSource = iota
+	// CountingThread is the SGX1 fallback: a sibling-thread counter with
+	// coarser resolution and extra jitter.
+	CountingThread
+)
+
+// Enclave is an attack context inside an SGX enclave on a machine.
+type Enclave struct {
+	m     *machine.Machine
+	timer TimerSource
+	// BaseVA is the ELRANGE base (the enclave's own location).
+	BaseVA paging.VirtAddr
+	// SizePages is the enclave's committed size.
+	SizePages int
+}
+
+// Enter creates an enclave context and switches the machine into enclave
+// execution mode (per-probe overhead on).
+func Enter(m *machine.Machine, timer TimerSource) (*Enclave, error) {
+	if m.Preset.SGXProbeOverhead <= 0 {
+		return nil, fmt.Errorf("sgx: %s does not support SGX", m.Preset.Name)
+	}
+	e := &Enclave{m: m, timer: timer, BaseVA: 0x7fff00000000, SizePages: 64}
+	m.InEnclave = true
+	// EENTER cost.
+	m.AdvanceCycles(14000)
+	return e, nil
+}
+
+// Exit leaves enclave mode (EEXIT).
+func (e *Enclave) Exit() {
+	e.m.InEnclave = false
+	e.m.AdvanceCycles(12000)
+}
+
+// TimerJitterSigma returns the extra measurement jitter of the timer
+// source: zero for SGX2 RDTSC, several cycles for a counting thread.
+func (e *Enclave) TimerJitterSigma() float64 {
+	if e.timer == CountingThread {
+		return 6.0
+	}
+	return 0
+}
+
+// Timer returns the configured timer source.
+func (e *Enclave) Timer() TimerSource { return e.timer }

@@ -1,0 +1,70 @@
+package sgx
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/uarch"
+)
+
+func TestEnterSetsEnclaveMode(t *testing.T) {
+	m := machine.New(uarch.IceLake1065G7(), 1)
+	e, err := Enter(m, RDTSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.InEnclave {
+		t.Fatal("machine not in enclave mode")
+	}
+	e.Exit()
+	if m.InEnclave {
+		t.Fatal("exit did not clear enclave mode")
+	}
+}
+
+func TestEnterChargesTransitionCost(t *testing.T) {
+	m := machine.New(uarch.IceLake1065G7(), 2)
+	t0 := m.RDTSC()
+	e, err := Enter(m, RDTSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RDTSC() == t0 {
+		t.Fatal("EENTER free")
+	}
+	t1 := m.RDTSC()
+	e.Exit()
+	if m.RDTSC() == t1 {
+		t.Fatal("EEXIT free")
+	}
+}
+
+func TestNoSGXOnAMD(t *testing.T) {
+	m := machine.New(uarch.Zen3_5600X(), 3)
+	if _, err := Enter(m, RDTSC); err == nil {
+		t.Fatal("SGX enclave created on an AMD part")
+	}
+}
+
+func TestTimerJitter(t *testing.T) {
+	m := machine.New(uarch.IceLake1065G7(), 4)
+	e, err := Enter(m, RDTSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TimerJitterSigma() != 0 {
+		t.Fatal("SGX2 RDTSC should be jitter-free")
+	}
+	if e.Timer() != RDTSC {
+		t.Fatal("timer source wrong")
+	}
+	e.Exit()
+	e2, err := Enter(m, CountingThread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.TimerJitterSigma() <= 0 {
+		t.Fatal("counting-thread timer should add jitter (SGX1 fallback)")
+	}
+	e2.Exit()
+}

@@ -1,0 +1,330 @@
+// Package stats provides the small statistical toolkit the attacks and the
+// experiment harness share: streaming moments, percentiles, histograms and
+// two-class threshold calibration.
+//
+// The attack code in internal/core deliberately restricts itself to
+// estimators an unprivileged attacker could compute online (mean, min-of-k,
+// simple thresholds); the richer summaries here are used by the experiment
+// harness to render the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream accumulates streaming count/mean/variance using Welford's method,
+// plus min and max. The zero value is ready to use.
+type Stream struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the stream.
+func (s *Stream) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// AddN folds n copies of x (for pre-bucketed data).
+func (s *Stream) AddN(x float64, n int) {
+	for i := 0; i < n; i++ {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 if n < 2).
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 if empty).
+func (s *Stream) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 if empty).
+func (s *Stream) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// String renders "mean±std (n=N)" in the style of the paper's Figure 2.
+func (s *Stream) String() string {
+	return fmt.Sprintf("%.1f±%.2f (n=%d)", s.Mean(), s.Std(), s.n)
+}
+
+// Sample is an in-memory sample supporting order statistics.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns the raw observations in insertion order. The caller must
+// not mutate the returned slice.
+func (s *Sample) Values() []float64 { return s.xs }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using linear
+// interpolation between closest ranks. It panics on an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	s.ensureSorted()
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// Min returns the smallest observation; panics on an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		panic("stats: min of empty sample")
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max returns the largest observation; panics on an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		panic("stats: max of empty sample")
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+// MinOfK reduces xs by taking the minimum over consecutive groups of k.
+// Min-of-k is the standard timing-side-channel estimator: latency noise is
+// strictly additive (interrupts only ever make a probe slower), so the
+// minimum of a few repetitions converges on the true latency much faster
+// than the mean. A trailing partial group is reduced too.
+func MinOfK(xs []float64, k int) []float64 {
+	if k <= 1 {
+		out := make([]float64, len(xs))
+		copy(out, xs)
+		return out
+	}
+	var out []float64
+	for i := 0; i < len(xs); i += k {
+		end := i + k
+		if end > len(xs) {
+			end = len(xs)
+		}
+		m := xs[i]
+		for _, x := range xs[i+1 : end] {
+			if x < m {
+				m = x
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Histogram is a fixed-width-bin histogram over [lo, hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Bins     []int
+	Under    int // observations below Lo
+	Over     int // observations at or above Hi
+	binWidth float64
+}
+
+// NewHistogram creates a histogram with nbins equal bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if hi <= lo || nbins <= 0 {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, nbins), binWidth: (hi - lo) / float64(nbins)}
+}
+
+// Add folds one observation into the histogram.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		h.Bins[int((x-h.Lo)/h.binWidth)]++
+	}
+}
+
+// Total returns the total number of observations, including out-of-range.
+func (h *Histogram) Total() int {
+	n := h.Under + h.Over
+	for _, b := range h.Bins {
+		n += b
+	}
+	return n
+}
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.binWidth
+}
+
+// Threshold holds a two-class timing decision boundary: observations at or
+// below Cycles are classified "fast" (e.g. kernel-mapped), above it "slow".
+type Threshold struct {
+	Cycles float64
+	// FastMean and SlowMean record the class means the threshold was
+	// calibrated from, for diagnostics.
+	FastMean, SlowMean float64
+}
+
+// Classify reports whether x falls on the fast side of the threshold.
+func (t Threshold) Classify(x float64) bool { return x <= t.Cycles }
+
+// CalibrateMidpoint places a threshold halfway between the means of a fast
+// and a slow sample. It panics if either sample is empty or if the samples
+// are not separated (fast mean >= slow mean), because proceeding with an
+// inverted threshold would silently produce garbage classifications.
+// Medians are used for the same robustness reason as in CalibrateOffset.
+func CalibrateMidpoint(fast, slow *Sample) Threshold {
+	if fast.N() == 0 || slow.N() == 0 {
+		panic("stats: calibration with empty sample")
+	}
+	fm, sm := fast.Median(), slow.Median()
+	if fm >= sm {
+		panic(fmt.Sprintf("stats: calibration classes not separated (fast %.1f >= slow %.1f)", fm, sm))
+	}
+	return Threshold{Cycles: (fm + sm) / 2, FastMean: fm, SlowMean: sm}
+}
+
+// Trimmed returns a Stream over the observations inside [lo, hi] quantiles
+// — the outlier-filtered summary timing papers report (interrupt spikes are
+// strictly additive and carry no signal).
+func (s *Sample) Trimmed(lo, hi float64) *Stream {
+	if len(s.xs) == 0 {
+		return &Stream{}
+	}
+	a, b := s.Quantile(lo), s.Quantile(hi)
+	out := &Stream{}
+	for _, x := range s.xs {
+		if x >= a && x <= b {
+			out.Add(x)
+		}
+	}
+	return out
+}
+
+// CalibrateFraction places a threshold at fast + frac·(slow − fast),
+// using class medians. Scans that trigger on the *first* fast observation
+// give the slow class hundreds of chances to err for the fast class's one,
+// so the threshold belongs closer to the fast class (frac < 0.5) than the
+// symmetric midpoint.
+func CalibrateFraction(fast, slow *Sample, frac float64) Threshold {
+	if fast.N() == 0 || slow.N() == 0 {
+		panic("stats: calibration with empty sample")
+	}
+	fm, sm := fast.Median(), slow.Median()
+	if fm >= sm {
+		panic(fmt.Sprintf("stats: calibration classes not separated (fast %.1f >= slow %.1f)", fm, sm))
+	}
+	return Threshold{Cycles: fm + frac*(sm-fm), FastMean: fm, SlowMean: sm}
+}
+
+// CalibrateOffset places a threshold at the fast-class mean plus a fixed
+// margin, the strategy the paper uses (§IV-B: the dirty-bit masked-store
+// time on a user page matches the kernel-mapped masked-load time, so
+// mean+margin separates mapped from unmapped without ever touching slow-
+// class ground truth).
+// The median (not the mean) estimates the fast class: interrupt spikes are
+// one-sided and would drag a mean-based threshold toward the slow class.
+func CalibrateOffset(fast *Sample, margin float64) Threshold {
+	if fast.N() == 0 {
+		panic("stats: calibration with empty sample")
+	}
+	fm := fast.Median()
+	return Threshold{Cycles: fm + margin, FastMean: fm, SlowMean: math.NaN()}
+}

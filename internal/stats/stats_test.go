@@ -1,0 +1,320 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamMoments(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean %v, want 5", s.Mean())
+	}
+	// Sample (unbiased) variance of this classic set is 32/7.
+	if v := s.Var(); math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("var %v, want %v", v, 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Var() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty stream should return zeros")
+	}
+}
+
+func TestStreamMatchesDirectComputation(t *testing.T) {
+	err := quick.Check(func(xs []float64) bool {
+		// Constrain to finite values.
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var s Stream
+		sum := 0.0
+		for _, x := range clean {
+			s.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(clean))
+		ssq := 0.0
+		for _, x := range clean {
+			ssq += (x - mean) * (x - mean)
+		}
+		wantVar := ssq / float64(len(clean)-1)
+		return math.Abs(s.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(s.Var()-wantVar) < 1e-6*(1+wantVar)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if m := s.Median(); math.Abs(m-50.5) > 1e-9 {
+		t.Errorf("median %v, want 50.5", m)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("q0 %v", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Errorf("q1 %v", q)
+	}
+	if q := s.Quantile(0.25); math.Abs(q-25.75) > 1e-9 {
+		t.Errorf("q0.25 %v, want 25.75", q)
+	}
+}
+
+func TestSampleQuantileMonotone(t *testing.T) {
+	err := quick.Check(func(xs []float64, a, b float64) bool {
+		var s Sample
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				s.Add(x)
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		qa := math.Mod(math.Abs(a), 1)
+		qb := math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return s.Quantile(qa) <= s.Quantile(qb)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleEmptyQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(&Sample{}).Quantile(0.5)
+}
+
+func TestMinOfK(t *testing.T) {
+	xs := []float64{5, 3, 9, 1, 7, 2, 8}
+	got := MinOfK(xs, 3)
+	want := []float64{3, 1, 8}
+	if len(got) != len(want) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("minofk[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// k<=1 copies.
+	c := MinOfK(xs, 1)
+	c[0] = -1
+	if xs[0] == -1 {
+		t.Error("MinOfK(k=1) aliases input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over %d/%d", h.Under, h.Over)
+	}
+	if h.Total() != 8 {
+		t.Errorf("total %d", h.Total())
+	}
+	if h.Bins[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 %d", h.Bins[0])
+	}
+	if c := h.BinCenter(0); c != 1 {
+		t.Errorf("center %v", c)
+	}
+}
+
+func TestTrimmedDropsOutliers(t *testing.T) {
+	var s Sample
+	for i := 0; i < 99; i++ {
+		s.Add(100)
+	}
+	s.Add(100000) // one interrupt spike
+	tr := s.Trimmed(0, 0.98)
+	if tr.Mean() != 100 {
+		t.Errorf("trimmed mean %v, want 100", tr.Mean())
+	}
+}
+
+func TestCalibrateMidpoint(t *testing.T) {
+	fast, slow := &Sample{}, &Sample{}
+	for i := 0; i < 50; i++ {
+		fast.Add(90 + float64(i%3))
+		slow.Add(110 + float64(i%3))
+	}
+	th := CalibrateMidpoint(fast, slow)
+	if th.Cycles <= 91 || th.Cycles >= 110 {
+		t.Errorf("threshold %v out of band", th.Cycles)
+	}
+	if !th.Classify(92) || th.Classify(109) {
+		t.Error("classification wrong")
+	}
+}
+
+func TestCalibrateMidpointUnseparatedPanics(t *testing.T) {
+	fast, slow := &Sample{}, &Sample{}
+	fast.Add(100)
+	slow.Add(90)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for inverted classes")
+		}
+	}()
+	CalibrateMidpoint(fast, slow)
+}
+
+func TestCalibrateOffsetUsesMedian(t *testing.T) {
+	fast := &Sample{}
+	for i := 0; i < 99; i++ {
+		fast.Add(100)
+	}
+	fast.Add(100000) // spike must not drag the threshold
+	th := CalibrateOffset(fast, 5)
+	if th.Cycles != 105 {
+		t.Errorf("threshold %v, want 105 (median+5)", th.Cycles)
+	}
+}
+
+func TestThresholdClassifyBoundary(t *testing.T) {
+	th := Threshold{Cycles: 100}
+	if !th.Classify(100) {
+		t.Error("boundary value should classify fast")
+	}
+	if th.Classify(100.001) {
+		t.Error("just above boundary should classify slow")
+	}
+}
+
+func TestStreamAddN(t *testing.T) {
+	var a, b Stream
+	a.AddN(5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(5)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() {
+		t.Fatalf("AddN diverges from repeated Add: %v vs %v", a, b)
+	}
+}
+
+func TestStreamString(t *testing.T) {
+	var s Stream
+	s.Add(92)
+	s.Add(94)
+	if got := s.String(); got != "93.0±1.41 (n=2)" {
+		t.Fatalf("stream string %q", got)
+	}
+}
+
+func TestSampleAccessors(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	s.Add(1)
+	s.Add(2)
+	if s.Min() != 1 || s.Max() != 3 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+	if vals := s.Values(); len(vals) != 3 {
+		t.Fatalf("values %v", vals)
+	}
+	if s.Mean() != 2 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	if s.Std() == 0 {
+		t.Fatal("std zero for spread sample")
+	}
+}
+
+func TestSampleEmptyAccessors(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 {
+		t.Fatal("empty sample stats nonzero")
+	}
+	for _, f := range []func(){func() { s.Min() }, func() { s.Max() }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on empty order statistic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTrimmedEmpty(t *testing.T) {
+	var s Sample
+	if tr := s.Trimmed(0, 0.99); tr.N() != 0 {
+		t.Fatal("trimmed empty sample not empty")
+	}
+}
+
+func TestCalibrateOffsetEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	CalibrateOffset(&Sample{}, 1)
+}
+
+func TestCalibrateFraction(t *testing.T) {
+	fast, slow := &Sample{}, &Sample{}
+	for i := 0; i < 10; i++ {
+		fast.Add(100)
+		slow.Add(200)
+	}
+	th := CalibrateFraction(fast, slow, 0.3)
+	if th.Cycles != 130 {
+		t.Fatalf("threshold %v, want 130", th.Cycles)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for inverted classes")
+		}
+	}()
+	CalibrateFraction(slow, fast, 0.3)
+}
+
+func TestHistogramBinCenters(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	if h.BinCenter(9) != 95 {
+		t.Fatalf("last center %v", h.BinCenter(9))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad histogram bounds")
+		}
+	}()
+	NewHistogram(10, 10, 5)
+}

@@ -1,0 +1,366 @@
+// Package tlb models the translation caches the attacks observe: a
+// two-level data TLB (L1 DTLB + shared STLB) and Intel-style
+// paging-structure caches (PSC).
+//
+// The structures are set-associative with LRU replacement and are keyed the
+// way real parts key them (virtual page number for the TLBs, partial VA
+// prefix for the PSCs), because two of the paper's primitives depend on the
+// details: the TLB attack (P4) needs eviction and refill to behave like a
+// real set-associative cache, and the page-table-level attack (P3) needs
+// PSCs that cache PML4E/PDPTE/PDE entries but never PT entries.
+package tlb
+
+import (
+	"repro/internal/paging"
+	"repro/internal/phys"
+)
+
+// Entry is a cached translation.
+//
+// Flags, Size and PFN expose the translation attributes the MMU needs to
+// finish an access from a TLB hit without walking.
+type Entry struct {
+	vpn   uint64 // virtual page number (va >> page shift for its size)
+	size  paging.PageSize
+	asid  uint16
+	flags paging.Flags
+	pfn   phys.PFN
+	valid bool
+	lru   uint64
+}
+
+// Flags returns the cached PTE flags.
+func (e *Entry) Flags() paging.Flags { return e.flags }
+
+// Size returns the cached translation's page size.
+func (e *Entry) Size() paging.PageSize { return e.size }
+
+// PFN returns the cached frame number.
+func (e *Entry) PFN() phys.PFN { return e.pfn }
+
+// SetFlags updates the cached PTE flags (the machine refreshes the cached
+// Dirty bit after a dirty-setting assist, as hardware does).
+func (e *Entry) SetFlags(f paging.Flags) { e.flags = f }
+
+// Config sizes one set-associative translation cache.
+type Config struct {
+	Sets int // number of sets (power of two)
+	Ways int // associativity
+}
+
+// setAssoc is a generic set-associative LRU cache of translations.
+type setAssoc struct {
+	cfg   Config
+	sets  [][]Entry
+	clock uint64
+}
+
+func newSetAssoc(cfg Config) *setAssoc {
+	s := &setAssoc{cfg: cfg, sets: make([][]Entry, cfg.Sets)}
+	for i := range s.sets {
+		s.sets[i] = make([]Entry, cfg.Ways)
+	}
+	return s
+}
+
+func (s *setAssoc) setIndex(vpn uint64) int {
+	return int(vpn) & (s.cfg.Sets - 1)
+}
+
+// lookup returns the entry for (vpn,size,asid) or nil.
+func (s *setAssoc) lookup(vpn uint64, size paging.PageSize, asid uint16, global bool) *Entry {
+	s.clock++
+	set := s.sets[s.setIndex(vpn)]
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn && e.size == size &&
+			(e.asid == asid || global && e.flags.Has(paging.Global)) {
+			e.lru = s.clock
+			return e
+		}
+	}
+	return nil
+}
+
+// insert fills (evicting LRU) and returns the victim entry if one was
+// evicted while still valid.
+func (s *setAssoc) insert(e Entry) (victim Entry, evicted bool) {
+	s.clock++
+	e.lru = s.clock
+	set := s.sets[s.setIndex(e.vpn)]
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			set[i] = e
+			return Entry{}, false
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	victim = set[vi]
+	set[vi] = e
+	return victim, true
+}
+
+// invalidate removes the entry for (vpn,size) in any ASID; returns whether
+// an entry was removed.
+func (s *setAssoc) invalidate(vpn uint64, size paging.PageSize) bool {
+	set := s.sets[s.setIndex(vpn)]
+	hit := false
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn && set[i].size == size {
+			set[i].valid = false
+			hit = true
+		}
+	}
+	return hit
+}
+
+// flush removes all entries; if keepGlobal, Global entries survive (MOV CR3
+// without PCID semantics).
+func (s *setAssoc) flush(keepGlobal bool) {
+	for _, set := range s.sets {
+		for i := range set {
+			if keepGlobal && set[i].flags.Has(paging.Global) {
+				continue
+			}
+			set[i].valid = false
+		}
+	}
+}
+
+// flushASID removes all non-global entries belonging to one ASID.
+func (s *setAssoc) flushASID(asid uint16) {
+	for _, set := range s.sets {
+		for i := range set {
+			if set[i].valid && set[i].asid == asid && !set[i].flags.Has(paging.Global) {
+				set[i].valid = false
+			}
+		}
+	}
+}
+
+// count returns the number of valid entries (for tests/diagnostics).
+func (s *setAssoc) count() int {
+	n := 0
+	for _, set := range s.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TLB is the two-level data TLB.
+type TLB struct {
+	l1  *setAssoc
+	l2  *setAssoc
+	cfg TLBConfig
+}
+
+// TLBConfig sizes both TLB levels.
+type TLBConfig struct {
+	L1 Config // e.g. 64-entry 4-way
+	L2 Config // e.g. 1536-entry 12-way (STLB)
+}
+
+// DefaultTLBConfig is an Ice Lake-like configuration.
+func DefaultTLBConfig() TLBConfig {
+	return TLBConfig{
+		L1: Config{Sets: 16, Ways: 4},   // 64-entry DTLB
+		L2: Config{Sets: 128, Ways: 12}, // 1536-entry STLB
+	}
+}
+
+// NewTLB creates a TLB with the given configuration.
+func NewTLB(cfg TLBConfig) *TLB {
+	return &TLB{l1: newSetAssoc(cfg.L1), l2: newSetAssoc(cfg.L2), cfg: cfg}
+}
+
+// LookupResult describes where a translation was found.
+type LookupResult int
+
+// TLB lookup outcomes.
+const (
+	Miss  LookupResult = iota // not in either level: page walk required
+	HitL1                     // found in the first-level DTLB
+	HitL2                     // found in the STLB (small extra latency)
+)
+
+func vpnOf(va paging.VirtAddr, size paging.PageSize) uint64 {
+	switch size {
+	case paging.Page4K:
+		return uint64(va) >> 12
+	case paging.Page2M:
+		return uint64(va) >> 21
+	case paging.Page1G:
+		return uint64(va) >> 30
+	}
+	panic("tlb: bad page size")
+}
+
+// Lookup searches for a translation of va at any page size for asid.
+// Real TLBs probe per-size in parallel; we model the same observable.
+func (t *TLB) Lookup(va paging.VirtAddr, asid uint16) (LookupResult, *Entry) {
+	for _, size := range []paging.PageSize{paging.Page4K, paging.Page2M, paging.Page1G} {
+		vpn := vpnOf(va, size)
+		if e := t.l1.lookup(vpn, size, asid, true); e != nil {
+			return HitL1, e
+		}
+	}
+	for _, size := range []paging.PageSize{paging.Page4K, paging.Page2M, paging.Page1G} {
+		vpn := vpnOf(va, size)
+		if e := t.l2.lookup(vpn, size, asid, true); e != nil {
+			// Promote into L1 like a real hierarchy.
+			t.l1.insert(*e)
+			return HitL2, e
+		}
+	}
+	return Miss, nil
+}
+
+// Fill inserts a translation produced by a successful walk. L1 victims are
+// demoted to the STLB (exclusive-ish behaviour is close enough for the
+// attack observables).
+func (t *TLB) Fill(va paging.VirtAddr, w paging.Walk, asid uint16) {
+	e := Entry{
+		vpn:   vpnOf(va, w.Size),
+		size:  w.Size,
+		asid:  asid,
+		flags: w.Flags,
+		pfn:   w.PFN,
+		valid: true,
+	}
+	if victim, evicted := t.l1.insert(e); evicted {
+		t.l2.insert(victim)
+	}
+	t.l2.insert(e)
+}
+
+// Invalidate models INVLPG: drops the translation of va at every size.
+func (t *TLB) Invalidate(va paging.VirtAddr) {
+	for _, size := range []paging.PageSize{paging.Page4K, paging.Page2M, paging.Page1G} {
+		vpn := vpnOf(va, size)
+		t.l1.invalidate(vpn, size)
+		t.l2.invalidate(vpn, size)
+	}
+}
+
+// Flush models a CR3 write: drops everything, keeping Global entries if
+// keepGlobal (no-PCID semantics keep globals; full flush drops them too).
+func (t *TLB) Flush(keepGlobal bool) {
+	t.l1.flush(keepGlobal)
+	t.l2.flush(keepGlobal)
+}
+
+// FlushASID drops the non-global entries of one address space (PCID-
+// targeted invalidation).
+func (t *TLB) FlushASID(asid uint16) {
+	t.l1.flushASID(asid)
+	t.l2.flushASID(asid)
+}
+
+// EntryCount returns the number of valid entries across both levels.
+func (t *TLB) EntryCount() int { return t.l1.count() + t.l2.count() }
+
+// PSC is the set of Intel-style paging-structure caches: one cache per
+// interior level (PML4E, PDPTE, PDE). PT entries are never cached — the
+// property the paper's level attack exploits (§III-B: "Intel's
+// paging-structure caches do not contain PT").
+type PSC struct {
+	pml4e *setAssoc
+	pdpte *setAssoc
+	pde   *setAssoc
+	// Enabled gates the whole structure; the ablation bench turns it off.
+	Enabled bool
+}
+
+// NewPSC creates paging-structure caches with small, Intel-plausible sizes.
+func NewPSC() *PSC {
+	return &PSC{
+		pml4e:   newSetAssoc(Config{Sets: 4, Ways: 4}),
+		pdpte:   newSetAssoc(Config{Sets: 4, Ways: 4}),
+		pde:     newSetAssoc(Config{Sets: 8, Ways: 4}),
+		Enabled: true,
+	}
+}
+
+func (p *PSC) cacheFor(level paging.Level) *setAssoc {
+	switch level {
+	case paging.LevelPML4:
+		return p.pml4e
+	case paging.LevelPDPT:
+		return p.pdpte
+	case paging.LevelPD:
+		return p.pde
+	}
+	return nil
+}
+
+// pscTag returns the VA prefix that indexes the cache of a level: an entry
+// at level L is tagged by the VA bits that selected entries at levels
+// above-and-including L.
+func pscTag(va paging.VirtAddr, level paging.Level) uint64 {
+	switch level {
+	case paging.LevelPML4:
+		return uint64(va) >> 39
+	case paging.LevelPDPT:
+		return uint64(va) >> 30
+	case paging.LevelPD:
+		return uint64(va) >> 21
+	}
+	panic("tlb: psc tag for leaf level")
+}
+
+// Lookup reports the deepest interior level whose entry for va is cached.
+// A hit at level L means the walk may start at the structure below L,
+// skipping the levels at and above L.
+func (p *PSC) Lookup(va paging.VirtAddr, asid uint16) (paging.Level, bool) {
+	if !p.Enabled {
+		return paging.LevelNone, false
+	}
+	for _, level := range []paging.Level{paging.LevelPD, paging.LevelPDPT, paging.LevelPML4} {
+		c := p.cacheFor(level)
+		if e := c.lookup(pscTag(va, level), paging.Page4K, asid, false); e != nil {
+			return level, true
+		}
+	}
+	return paging.LevelNone, false
+}
+
+// Fill caches the interior entries a successful or failed walk read.
+// Only Present interior entries are cached (non-present entries are not
+// cached by hardware), and the leaf-level entry is never inserted.
+func (p *PSC) Fill(va paging.VirtAddr, termLevel paging.Level, mapped bool, asid uint16) {
+	if !p.Enabled {
+		return
+	}
+	// Interior levels the walk traversed with Present entries: every level
+	// strictly above the termination level, plus the termination level
+	// itself only if it is interior and the walk continued past it.
+	deepest := termLevel - 1
+	if mapped {
+		// Leaf at termLevel: interior levels above it were Present.
+		deepest = termLevel - 1
+	}
+	for level := paging.LevelPML4; level <= deepest && level <= paging.LevelPD; level++ {
+		c := p.cacheFor(level)
+		c.insert(Entry{vpn: pscTag(va, level), size: paging.Page4K, asid: asid, valid: true})
+	}
+}
+
+// Flush drops all cached paging-structure entries (CR3 write / INVLPG
+// side effects).
+func (p *PSC) Flush() {
+	p.pml4e.flush(false)
+	p.pdpte.flush(false)
+	p.pde.flush(false)
+}
+
+// EntryCount returns the number of valid PSC entries.
+func (p *PSC) EntryCount() int {
+	return p.pml4e.count() + p.pdpte.count() + p.pde.count()
+}

@@ -1,0 +1,204 @@
+// Package trace renders experiment results: CSV series for offline
+// plotting and ASCII scatter/line plots for the terminal, in the style of
+// the paper's Figures 4–7.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named (x, y) sequence.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// CSV renders one or more series as aligned CSV (x, then one column per
+// series; series must share X or be rendered separately).
+func CSV(series ...*Series) string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range series {
+		fmt.Fprintf(&b, ",%s", s.Name)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	n := series[0].Len()
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%g", series[0].X[i])
+		for _, s := range series {
+			if i < s.Len() {
+				fmt.Fprintf(&b, ",%g", s.Y[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Plot configures an ASCII plot.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 78)
+	Height int // plot rows (default 16)
+	series []*Series
+	marks  []byte
+}
+
+// NewPlot creates a plot with a title.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 78, Height: 16}
+}
+
+// AddSeries attaches a series with a point mark.
+func (p *Plot) AddSeries(s *Series, mark byte) {
+	p.series = append(p.series, s)
+	p.marks = append(p.marks, mark)
+}
+
+// Render draws the plot as text.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 78
+	}
+	if h <= 0 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range p.series {
+		for i := 0; i < s.Len(); i++ {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+			total++
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	if total == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.series {
+		for i := 0; i < s.Len(); i++ {
+			c := int((s.X[i] - minX) / (maxX - minX) * float64(w-1))
+			r := h - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(h-1))
+			grid[r][c] = p.marks[si]
+		}
+	}
+	for r, row := range grid {
+		yv := maxY - (maxY-minY)*float64(r)/float64(h-1)
+		fmt.Fprintf(&b, "%9.1f |%s\n", yv, string(row))
+	}
+	fmt.Fprintf(&b, "%9s  %s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%9s  %-*g%*g\n", "", w/2, minX, w-w/2, maxX)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%9s  x: %s   y: %s\n", "", p.XLabel, p.YLabel)
+	}
+	legend := make([]string, 0, len(p.series))
+	for si, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", p.marks[si], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%9s  %s\n", "", strings.Join(legend, "  "))
+	}
+	return b.String()
+}
+
+// Table renders rows with aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, hcell := range t.Header {
+		widths[i] = len(hcell)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// SortSeriesByX orders a series by ascending X (in place).
+func SortSeriesByX(s *Series) {
+	idx := make([]int, s.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	nx := make([]float64, s.Len())
+	ny := make([]float64, s.Len())
+	for to, from := range idx {
+		nx[to], ny[to] = s.X[from], s.Y[from]
+	}
+	s.X, s.Y = nx, ny
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAdd(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if s.Len() != 2 || s.X[1] != 3 || s.Y[1] != 4 {
+		t.Fatalf("series %+v", s)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	a := &Series{Name: "a"}
+	a.Add(0, 10)
+	a.Add(1, 20)
+	out := CSV(a)
+	want := "x,a\n0,10\n1,20\n"
+	if out != want {
+		t.Fatalf("csv %q, want %q", out, want)
+	}
+	if CSV() != "x\n" {
+		t.Fatal("empty csv wrong")
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	s := &Series{Name: "mapped"}
+	for i := 0; i < 50; i++ {
+		s.Add(float64(i), 93+float64(i%3))
+	}
+	p := NewPlot("test plot", "slot", "cycles")
+	p.AddSeries(s, 'o')
+	out := p.Render()
+	if !strings.Contains(out, "test plot") || !strings.Contains(out, "o=mapped") {
+		t.Fatalf("plot output:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("no data points rendered")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("empty", "", "")
+	out := p.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty plot output %q", out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	s := &Series{Name: "flat"}
+	s.Add(0, 5)
+	s.Add(1, 5)
+	p := NewPlot("flat", "", "")
+	p.AddSeries(s, '*')
+	if out := p.Render(); !strings.Contains(out, "*") {
+		t.Fatal("constant series dropped (degenerate y-range)")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "22")
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("no separator: %q", lines[1])
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[3][idx:], "22") {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+func TestSortSeriesByX(t *testing.T) {
+	s := &Series{Name: "s"}
+	s.Add(3, 30)
+	s.Add(1, 10)
+	s.Add(2, 20)
+	SortSeriesByX(s)
+	if s.X[0] != 1 || s.Y[0] != 10 || s.X[2] != 3 || s.Y[2] != 30 {
+		t.Fatalf("sorted %+v", s)
+	}
+}

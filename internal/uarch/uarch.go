@@ -1,0 +1,366 @@
+// Package uarch defines the per-CPU timing presets the simulator composes
+// its latency model from.
+//
+// Every preset is calibrated against numbers the paper reports for that
+// part (Figures 2–4, Table I, and the §III-B micro-experiments); the
+// comment on each constant cites its source. The *mechanism* — which
+// components contribute to a probe's latency — is identical across presets
+// and lives in internal/machine; presets only supply constants and two
+// behavioural switches (KernelTLBFill for the Intel/AMD TLB-fill difference,
+// EPTWalkMult for virtualized cloud guests).
+package uarch
+
+import (
+	"fmt"
+
+	"repro/internal/paging"
+)
+
+// Vendor is the CPU manufacturer.
+type Vendor int
+
+// CPU vendors.
+const (
+	Intel Vendor = iota
+	AMD
+)
+
+// String returns the vendor name.
+func (v Vendor) String() string {
+	if v == AMD {
+		return "AMD"
+	}
+	return "Intel"
+}
+
+// WalkCosts holds the calibrated extra cycles charged for a page-table walk
+// that terminates at each level, assuming warm page-table cache lines.
+//
+// The ordering the paper measures (§III-B) is PD < PDPT < PML4 < PT: huge
+// pages resolve fastest, and 4 KiB pages are slowest because Intel's
+// paging-structure caches never hold PT entries. These constants fold the
+// microcode-assist/walk interaction into per-termination-level figures, the
+// same observable the attacker has.
+type WalkCosts struct {
+	PML4, PDPT, PD, PT float64
+}
+
+// At returns the cost for a walk terminating at level l.
+func (w WalkCosts) At(l paging.Level) float64 {
+	switch l {
+	case paging.LevelPML4:
+		return w.PML4
+	case paging.LevelPDPT:
+		return w.PDPT
+	case paging.LevelPD:
+		return w.PD
+	case paging.LevelPT:
+		return w.PT
+	}
+	return 0
+}
+
+// Preset is one CPU model's timing/behaviour parameters.
+type Preset struct {
+	// Name is the marketing name used in the paper's Table I.
+	Name string
+	// Vendor is Intel or AMD.
+	Vendor Vendor
+	// Setting and Launch reproduce Table I's metadata columns.
+	Setting string
+	Launch  string
+
+	// TSCGHz converts simulated cycles to wall time for runtime reporting.
+	TSCGHz float64
+
+	// MaskedLoadBase is the no-assist, TLB-hit masked-load latency
+	// (Fig. 2 USER-M: 13 cycles on Ice Lake).
+	MaskedLoadBase float64
+	// MaskedStoreBase is the same for masked stores.
+	MaskedStoreBase float64
+	// ScalarBase is a plain load/store latency (baseline attacks).
+	ScalarBase float64
+
+	// AssistLoad is the microcode-assist penalty for a masked load that
+	// touches an invalid or inaccessible page (Fig. 2: KERNEL-M 93 =
+	// 13 base + 80 assist on Ice Lake).
+	AssistLoad float64
+	// AssistStore is the store-side assist penalty; 16–18 cycles cheaper
+	// than AssistLoad (§III-B property 6).
+	AssistStore float64
+	// AssistDirty is the penalty for the hardware Dirty-bit-setting assist
+	// on the first store to a clean writable page. The paper's threshold
+	// trick (§IV-B) relies on base+AssistDirty ≈ base+AssistLoad, i.e. the
+	// dirty store on a user page times like a kernel-mapped masked load.
+	AssistDirty float64
+
+	// Walk holds per-termination-level walk costs with warm PTE lines.
+	Walk WalkCosts
+	// PTELineMiss is the extra cost per page-table line that misses the
+	// data cache during a walk (§III-B TLB experiment: 381 vs 147 cycles
+	// ⇒ ~72 cycles per cold line on Coffee Lake, three lines for a 2 MiB
+	// translation).
+	PTELineMiss float64
+	// STLBHitExtra is the added latency when the translation comes from
+	// the second-level TLB instead of the first.
+	STLBHitExtra float64
+
+	// FenceOverhead is the lfence;rdtsc;lfence measurement overhead that
+	// raw timing loops include.
+	FenceOverhead float64
+	// LoopOverhead is the per-probe cost of address generation and loop
+	// control in the probing loops, charged to runtime but not to the
+	// measured delta.
+	LoopOverhead float64
+	// SyscallCost is the cost of one syscall (mmap/munmap during
+	// calibration, and the kernel-entry used to trigger KPTI/FLARE
+	// kernel activity).
+	SyscallCost float64
+	// FaultCost is the cost of a delivered #PF (signal round trip). The
+	// attacks never pay it — fault suppression is the point — but the
+	// baseline TSX-less probing would.
+	FaultCost float64
+
+	// NoiseSigma is the Gaussian jitter stddev (Fig. 2 error bars:
+	// ±0.9–1.6 cycles).
+	NoiseSigma float64
+	// OutlierProb is the per-measurement probability of an interrupt/SMI
+	// spike; OutlierScale is the Pareto scale of the spike. These tails
+	// are what make the paper's accuracies 99.3–99.8 % instead of 100 %.
+	OutlierProb  float64
+	OutlierScale float64
+
+	// KernelTLBFill: on Intel, a user-mode masked-op probe of a mapped
+	// kernel page fills the TLB (the walk succeeds; the U/S check fails
+	// later). On AMD Zen 3 it does not — the paper observes that kernel
+	// probes always walk (§IV-B) — so the mapped/unmapped timing primitive
+	// vanishes and the attack must use walk-termination levels instead.
+	KernelTLBFill bool
+	// EPTWalkMult multiplies walk costs under nested (EPT) paging; 1 on
+	// bare metal, ~4 in cloud guests (a 4-level guest walk needs up to 24
+	// memory accesses under EPT).
+	EPTWalkMult float64
+	// ExtraNoiseSigma adds neighbour noise in cloud guests.
+	ExtraNoiseSigma float64
+	// SGXProbeOverhead is the extra per-probe cost when executing inside
+	// an SGX enclave (EPCM checks, enclave memory-access overhead) — a
+	// few dozen cycles per probe. The §IV-F scan runtimes (51 s load /
+	// 44 s store) are dominated by the 2^28 probe count, not by this
+	// overhead.
+	SGXProbeOverhead float64
+}
+
+// Validate checks internal consistency of a preset. Every constructor in
+// this package returns validated presets; Validate is exported for tests
+// and for users defining custom parts.
+func (p *Preset) Validate() error {
+	if p.TSCGHz <= 0 {
+		return fmt.Errorf("uarch %s: TSCGHz must be positive", p.Name)
+	}
+	if p.MaskedLoadBase <= 0 || p.MaskedStoreBase <= 0 {
+		return fmt.Errorf("uarch %s: base latencies must be positive", p.Name)
+	}
+	if p.AssistStore >= p.AssistLoad {
+		return fmt.Errorf("uarch %s: property 6 violated (store assist %.0f >= load assist %.0f)",
+			p.Name, p.AssistStore, p.AssistLoad)
+	}
+	// Paper §III-B ordering: PD < PDPT < PML4 < PT.
+	if !(p.Walk.PD < p.Walk.PDPT && p.Walk.PDPT < p.Walk.PML4 && p.Walk.PML4 < p.Walk.PT) {
+		return fmt.Errorf("uarch %s: walk-termination ordering must be PD<PDPT<PML4<PT", p.Name)
+	}
+	if p.EPTWalkMult < 1 {
+		return fmt.Errorf("uarch %s: EPTWalkMult must be >= 1", p.Name)
+	}
+	return nil
+}
+
+// CyclesToSeconds converts a simulated cycle count to seconds.
+func (p *Preset) CyclesToSeconds(cycles uint64) float64 {
+	return float64(cycles) / (p.TSCGHz * 1e9)
+}
+
+// IceLake1065G7 models the Intel Core i7-1065G7 (Ice Lake, mobile,
+// Q3'19) — the part behind Figure 2, Figure 5, Figure 6 and the SGX
+// experiment. Fig. 2 calibration: USER-M 13, USER-U 110, KERNEL-M 93,
+// KERNEL-U 107 cycles; masked store on KERNEL-M is 76 (property 6).
+func IceLake1065G7() *Preset {
+	return &Preset{
+		Name: "Intel Core i7-1065G7", Vendor: Intel, Setting: "Mobile", Launch: "Q3'19",
+		TSCGHz:         1.5,
+		MaskedLoadBase: 13, MaskedStoreBase: 13, ScalarBase: 5,
+		AssistLoad: 80, AssistStore: 63, AssistDirty: 80,
+		Walk:        WalkCosts{PML4: 17, PDPT: 15.5, PD: 14, PT: 22},
+		PTELineMiss: 66, STLBHitExtra: 7,
+		FenceOverhead: 30, LoopOverhead: 55, SyscallCost: 900, FaultCost: 4200,
+		NoiseSigma: 1.1, OutlierProb: 0.0015, OutlierScale: 260,
+		KernelTLBFill: true, EPTWalkMult: 1,
+		SGXProbeOverhead: 62,
+	}
+}
+
+// CoffeeLake9900 models the Intel Core i9-9900 (Coffee Lake, desktop),
+// used for the page-table-level and TLB-state experiments (§III-B) and
+// Figure 3. Calibration: permission experiment base 16; TLB hit 147
+// (including the 32-cycle fence the raw loop keeps), TLB miss with cold
+// page-table lines 381.
+func CoffeeLake9900() *Preset {
+	return &Preset{
+		Name: "Intel Core i9-9900", Vendor: Intel, Setting: "Desktop", Launch: "Q2'19",
+		TSCGHz:         3.1,
+		MaskedLoadBase: 16, MaskedStoreBase: 16, ScalarBase: 5,
+		// AssistLoad fits the §III-B TLB-hit figure (16+99+32 fence = 147);
+		// AssistStore fits Figure 3's read-only store (16+66 = 82).
+		AssistLoad: 99, AssistStore: 66, AssistDirty: 99,
+		Walk:        WalkCosts{PML4: 23, PDPT: 20, PD: 18, PT: 30},
+		PTELineMiss: 72, STLBHitExtra: 7,
+		FenceOverhead: 32, LoopOverhead: 50, SyscallCost: 850, FaultCost: 4000,
+		NoiseSigma: 1.3, OutlierProb: 0.0015, OutlierScale: 280,
+		KernelTLBFill: true, EPTWalkMult: 1,
+		SGXProbeOverhead: 58,
+	}
+}
+
+// AlderLake12400F models the Intel Core i5-12400F (Alder Lake, desktop,
+// Q1'22) — the Meltdown-resistant part behind Figure 4 and Table I's top
+// row. Calibration: kernel-mapped 93, unmapped 107 cycles; base-address
+// probing 67 µs, total 0.28 ms, 99.60 % accuracy.
+func AlderLake12400F() *Preset {
+	return &Preset{
+		Name: "Intel Core i5-12400F", Vendor: Intel, Setting: "Desktop", Launch: "Q1'22",
+		TSCGHz:         4.4,
+		MaskedLoadBase: 13, MaskedStoreBase: 13, ScalarBase: 4,
+		AssistLoad: 80, AssistStore: 64, AssistDirty: 80,
+		Walk:        WalkCosts{PML4: 17, PDPT: 15.5, PD: 14, PT: 22},
+		PTELineMiss: 60, STLBHitExtra: 6,
+		FenceOverhead: 28, LoopOverhead: 45, SyscallCost: 800, FaultCost: 3600,
+		NoiseSigma: 1.0, OutlierProb: 0.0012, OutlierScale: 250,
+		KernelTLBFill: true, EPTWalkMult: 1,
+		SGXProbeOverhead: 52,
+	}
+}
+
+// Skylake6600U models the Intel Core i7-6600U (Skylake, mobile) used for
+// the Windows KVAS experiment (§IV-G: 3 consecutive 4 KiB pages found in
+// ~8 s).
+func Skylake6600U() *Preset {
+	return &Preset{
+		Name: "Intel Core i7-6600U", Vendor: Intel, Setting: "Mobile", Launch: "Q3'15",
+		TSCGHz:         2.6,
+		MaskedLoadBase: 15, MaskedStoreBase: 15, ScalarBase: 5,
+		AssistLoad: 92, AssistStore: 75, AssistDirty: 92,
+		Walk:        WalkCosts{PML4: 20, PDPT: 18, PD: 16, PT: 26},
+		PTELineMiss: 70, STLBHitExtra: 8,
+		FenceOverhead: 31, LoopOverhead: 52, SyscallCost: 950, FaultCost: 4400,
+		NoiseSigma: 1.4, OutlierProb: 0.0018, OutlierScale: 300,
+		KernelTLBFill: true, EPTWalkMult: 1,
+		SGXProbeOverhead: 70,
+	}
+}
+
+// Zen3_5600X models the AMD Ryzen 5 5600X (Zen 3, desktop, Q2'20), Table
+// I's AMD row. On this part a user-mode probe of kernel memory never fills
+// the TLB, so every kernel probe pays a full walk; the attack falls back to
+// the walk-termination-level primitive against the kernel's five 4 KiB text
+// pages (§IV-B: 2.90 ms total, 99.48 %).
+func Zen3_5600X() *Preset {
+	return &Preset{
+		Name: "AMD Ryzen 5 5600X", Vendor: AMD, Setting: "Desktop", Launch: "Q2'20",
+		TSCGHz:         3.7,
+		MaskedLoadBase: 14, MaskedStoreBase: 14, ScalarBase: 4,
+		AssistLoad: 84, AssistStore: 68, AssistDirty: 84,
+		Walk:        WalkCosts{PML4: 26, PDPT: 22, PD: 19, PT: 38},
+		PTELineMiss: 64, STLBHitExtra: 7,
+		FenceOverhead: 27, LoopOverhead: 46, SyscallCost: 820, FaultCost: 3800,
+		NoiseSigma: 1.5, OutlierProb: 0.0016, OutlierScale: 270,
+		KernelTLBFill: false, EPTWalkMult: 1,
+		SGXProbeOverhead: 0, // no SGX on AMD
+	}
+}
+
+// XeonE5_2676 models the Amazon EC2 instance CPU (Xeon E5-2676 v3,
+// Haswell, Meltdown-vulnerable ⇒ KPTI on; §IV-H: kernel base 0.03 ms,
+// modules 1.14 ms, trampoline at +0xe00000).
+func XeonE5_2676() *Preset {
+	p := &Preset{
+		Name: "Intel Xeon E5-2676 v3 (EC2)", Vendor: Intel, Setting: "Cloud", Launch: "Q3'14",
+		TSCGHz:         2.4,
+		MaskedLoadBase: 16, MaskedStoreBase: 16, ScalarBase: 5,
+		AssistLoad: 95, AssistStore: 78, AssistDirty: 95,
+		Walk:        WalkCosts{PML4: 22, PDPT: 19, PD: 17, PT: 28},
+		PTELineMiss: 74, STLBHitExtra: 8,
+		FenceOverhead: 33, LoopOverhead: 52, SyscallCost: 1100, FaultCost: 5200,
+		NoiseSigma: 1.8, OutlierProb: 0.004, OutlierScale: 350,
+		KernelTLBFill: true, EPTWalkMult: 3.5, ExtraNoiseSigma: 1.6,
+		SGXProbeOverhead: 0,
+	}
+	return p
+}
+
+// XeonCascadeLake models the Google GCE instance CPU (§IV-H: base 0.08 ms,
+// modules 2.7 ms).
+func XeonCascadeLake() *Preset {
+	return &Preset{
+		Name: "Intel Xeon Cascade Lake (GCE)", Vendor: Intel, Setting: "Cloud", Launch: "Q2'19",
+		TSCGHz:         2.8,
+		MaskedLoadBase: 15, MaskedStoreBase: 15, ScalarBase: 5,
+		AssistLoad: 90, AssistStore: 73, AssistDirty: 90,
+		Walk:        WalkCosts{PML4: 21, PDPT: 18.5, PD: 17, PT: 27},
+		PTELineMiss: 70, STLBHitExtra: 7,
+		FenceOverhead: 31, LoopOverhead: 50, SyscallCost: 1000, FaultCost: 4800,
+		NoiseSigma: 1.6, OutlierProb: 0.003, OutlierScale: 320,
+		KernelTLBFill: true, EPTWalkMult: 3.2, ExtraNoiseSigma: 1.3,
+		SGXProbeOverhead: 0,
+	}
+}
+
+// XeonPlatinum8171M models the Microsoft Azure instance CPU (§IV-H:
+// Windows guest, 18 bits of KASLR entropy derandomized in 2.06 s).
+func XeonPlatinum8171M() *Preset {
+	return &Preset{
+		Name: "Intel Xeon Platinum 8171M (Azure)", Vendor: Intel, Setting: "Cloud", Launch: "Q3'17",
+		TSCGHz:         2.6,
+		MaskedLoadBase: 16, MaskedStoreBase: 16, ScalarBase: 5,
+		AssistLoad: 93, AssistStore: 76, AssistDirty: 93,
+		Walk:        WalkCosts{PML4: 22, PDPT: 19, PD: 17, PT: 28},
+		PTELineMiss: 72, STLBHitExtra: 8,
+		FenceOverhead: 32, LoopOverhead: 51, SyscallCost: 1050, FaultCost: 5000,
+		NoiseSigma: 1.9, OutlierProb: 0.0045, OutlierScale: 380,
+		KernelTLBFill: true, EPTWalkMult: 3.4, ExtraNoiseSigma: 1.7,
+		SGXProbeOverhead: 0,
+	}
+}
+
+// All returns every built-in preset, in the order the paper introduces the
+// parts.
+func All() []*Preset {
+	return []*Preset{
+		IceLake1065G7(),
+		CoffeeLake9900(),
+		AlderLake12400F(),
+		Skylake6600U(),
+		Zen3_5600X(),
+		XeonE5_2676(),
+		XeonCascadeLake(),
+		XeonPlatinum8171M(),
+	}
+}
+
+// ByName returns the preset whose Name contains the given substring
+// (case-sensitive), or nil.
+func ByName(sub string) *Preset {
+	for _, p := range All() {
+		if contains(p.Name, sub) {
+			return p
+		}
+	}
+	return nil
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package uarch
+
+import (
+	"testing"
+
+	"repro/internal/paging"
+)
+
+func TestAllPresetsValidate(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestPresetCount(t *testing.T) {
+	// The paper evaluates eight distinct parts.
+	if n := len(All()); n != 8 {
+		t.Fatalf("%d presets, want 8", n)
+	}
+}
+
+func TestProperty6AllPresets(t *testing.T) {
+	// §III-B property 6: the masked store's assist is cheaper than the
+	// masked load's on every part.
+	for _, p := range All() {
+		if p.AssistStore >= p.AssistLoad {
+			t.Errorf("%s: store assist %.0f >= load assist %.0f", p.Name, p.AssistStore, p.AssistLoad)
+		}
+	}
+}
+
+func TestWalkOrderingAllPresets(t *testing.T) {
+	// §III-B: PD < PDPT < PML4 < PT on every part.
+	for _, p := range All() {
+		w := p.Walk
+		if !(w.PD < w.PDPT && w.PDPT < w.PML4 && w.PML4 < w.PT) {
+			t.Errorf("%s: walk ordering violated: %+v", p.Name, w)
+		}
+	}
+}
+
+func TestIceLakeFig2Calibration(t *testing.T) {
+	p := IceLake1065G7()
+	if got := p.MaskedLoadBase; got != 13 {
+		t.Errorf("USER-M base %v, want 13", got)
+	}
+	if got := p.MaskedLoadBase + p.AssistLoad; got != 93 {
+		t.Errorf("KERNEL-M %v, want 93", got)
+	}
+	if got := p.MaskedLoadBase + p.AssistLoad + p.Walk.PD; got != 107 {
+		t.Errorf("KERNEL-U %v, want 107", got)
+	}
+	if got := p.MaskedLoadBase + p.AssistLoad + p.Walk.PML4; got != 110 {
+		t.Errorf("USER-U %v, want 110", got)
+	}
+	if got := p.MaskedStoreBase + p.AssistStore; got != 76 {
+		t.Errorf("KERNEL-M store %v, want 76 (P6)", got)
+	}
+}
+
+func TestCoffeeLakeTLBCalibration(t *testing.T) {
+	p := CoffeeLake9900()
+	hit := p.MaskedLoadBase + p.AssistLoad + p.FenceOverhead
+	if hit != 147 {
+		t.Errorf("TLB-hit raw %v, want 147", hit)
+	}
+	miss := hit + p.Walk.PD + 3*p.PTELineMiss
+	if miss != 381 {
+		t.Errorf("TLB-miss raw %v, want 381", miss)
+	}
+}
+
+func TestAMDHasNoKernelTLBFill(t *testing.T) {
+	if Zen3_5600X().KernelTLBFill {
+		t.Fatal("Zen 3 must not fill the TLB on kernel probes (§IV-B)")
+	}
+	for _, p := range All() {
+		if p.Vendor == Intel && !p.KernelTLBFill {
+			t.Errorf("%s: Intel part without kernel TLB fill", p.Name)
+		}
+	}
+}
+
+func TestCloudPresetsHaveEPT(t *testing.T) {
+	for _, p := range All() {
+		isCloud := p.Setting == "Cloud"
+		if isCloud && p.EPTWalkMult <= 1 {
+			t.Errorf("%s: cloud preset without EPT overhead", p.Name)
+		}
+		if !isCloud && p.EPTWalkMult != 1 {
+			t.Errorf("%s: bare-metal preset with EPT overhead", p.Name)
+		}
+	}
+}
+
+func TestValidateRejectsBadPresets(t *testing.T) {
+	p := IceLake1065G7()
+	p.AssistStore = p.AssistLoad + 1
+	if p.Validate() == nil {
+		t.Error("inverted P6 accepted")
+	}
+	p = IceLake1065G7()
+	p.Walk.PT = p.Walk.PD - 1
+	if p.Validate() == nil {
+		t.Error("inverted walk ordering accepted")
+	}
+	p = IceLake1065G7()
+	p.TSCGHz = 0
+	if p.Validate() == nil {
+		t.Error("zero frequency accepted")
+	}
+	p = IceLake1065G7()
+	p.EPTWalkMult = 0.5
+	if p.Validate() == nil {
+		t.Error("EPT multiplier < 1 accepted")
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	p := AlderLake12400F() // 4.4 GHz
+	if s := p.CyclesToSeconds(4_400_000_000); s != 1.0 {
+		t.Errorf("1s worth of cycles -> %v s", s)
+	}
+}
+
+func TestWalkCostsAt(t *testing.T) {
+	w := WalkCosts{PML4: 4, PDPT: 3, PD: 2, PT: 5}
+	if w.At(paging.LevelPML4) != 4 || w.At(paging.LevelPDPT) != 3 ||
+		w.At(paging.LevelPD) != 2 || w.At(paging.LevelPT) != 5 {
+		t.Fatal("At() mapping wrong")
+	}
+	if w.At(paging.LevelNone) != 0 {
+		t.Fatal("LevelNone should cost 0")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if p := ByName("12400F"); p == nil || p.Name != "Intel Core i5-12400F" {
+		t.Fatalf("ByName failed: %v", p)
+	}
+	if p := ByName("no-such-cpu"); p != nil {
+		t.Fatal("ByName matched garbage")
+	}
+}
+
+func TestSGXSupport(t *testing.T) {
+	// SGX experiments run on the Intel client parts; AMD has none.
+	if Zen3_5600X().SGXProbeOverhead != 0 {
+		t.Error("AMD preset claims SGX support")
+	}
+	if IceLake1065G7().SGXProbeOverhead <= 0 {
+		t.Error("Ice Lake preset missing SGX overhead (the §IV-F part)")
+	}
+}

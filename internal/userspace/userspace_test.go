@@ -1,0 +1,200 @@
+package userspace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/paging"
+	"repro/internal/uarch"
+)
+
+func build(t *testing.T, cfg Config) (*machine.Machine, *Process) {
+	t.Helper()
+	m := machine.New(uarch.IceLake1065G7(), cfg.Seed+3000)
+	p, err := Build(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, p
+}
+
+func TestExeInRegion(t *testing.T) {
+	_, p := build(t, Config{Seed: 1})
+	if p.Exe.Base < ExeRegionBase || p.Exe.Base >= ExeRegionBase+(1<<(EntropyBits+12)) {
+		t.Fatalf("exe at %#x", uint64(p.Exe.Base))
+	}
+	if uint64(p.Exe.Base)%paging.Page4K != 0 {
+		t.Fatal("exe base unaligned")
+	}
+}
+
+func TestASLREntropy(t *testing.T) {
+	bases := make(map[paging.VirtAddr]bool)
+	for seed := uint64(0); seed < 32; seed++ {
+		_, p := build(t, Config{Seed: seed})
+		bases[p.Exe.Base] = true
+	}
+	if len(bases) < 30 {
+		t.Fatalf("only %d distinct exe bases", len(bases))
+	}
+}
+
+func TestSectionPermissionsMapped(t *testing.T) {
+	m, p := build(t, Config{Seed: 3})
+	libc := p.Libs[0]
+	if libc.Image.Name != "libc.so" {
+		t.Fatalf("first lib %q", libc.Image.Name)
+	}
+	va := libc.Base
+	for _, sec := range libc.Image.Sections {
+		for pg := 0; pg < sec.Pages; pg++ {
+			w := m.UserAS.Translate(va+paging.VirtAddr(pg*paging.Page4K), nil)
+			switch sec.Perm {
+			case PermNone:
+				if w.Mapped {
+					t.Fatalf("--- page mapped at %#x (PROT_NONE must have no PTE)", uint64(va))
+				}
+			case PermRW:
+				if !w.Mapped || !w.Flags.Has(paging.Writable) || !w.Flags.Has(paging.Dirty) {
+					t.Fatalf("rw- page wrong at %#x: %v", uint64(va), w.Flags)
+				}
+			default:
+				if !w.Mapped || w.Flags.Has(paging.Writable) {
+					t.Fatalf("%v page wrong at %#x: %v", sec.Perm, uint64(va), w.Flags)
+				}
+			}
+		}
+		va += paging.VirtAddr(sec.Pages * paging.Page4K)
+	}
+}
+
+func TestLibcMatchesFigure7(t *testing.T) {
+	im := Libc()
+	// Section order and sizes from Figure 7's address ranges.
+	want := []Section{{PermRX, 0x1e7}, {PermNone, 0x200}, {PermR, 4}, {PermRW, 2}}
+	if len(im.Sections) != len(want) {
+		t.Fatalf("sections %d", len(im.Sections))
+	}
+	for i, s := range want {
+		if im.Sections[i] != s {
+			t.Fatalf("section %d: %+v, want %+v", i, im.Sections[i], s)
+		}
+	}
+}
+
+func TestSignaturesDistinct(t *testing.T) {
+	libs := StandardLibraries()
+	seen := map[string]string{}
+	for _, lib := range libs {
+		key := ""
+		for _, s := range lib.Sections {
+			if s.Perm == PermNone {
+				key += "|"
+				continue
+			}
+			key += string(rune('a'+int(s.Perm))) + itoa(s.Pages) + ","
+		}
+		if other, dup := seen[key]; dup {
+			t.Fatalf("%s and %s share a signature", lib.Name, other)
+		}
+		seen[key] = lib.Name
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestHiddenPages(t *testing.T) {
+	m, p := build(t, Config{Seed: 5, HideLastRWPage: true})
+	if len(p.Exe.HiddenPages) != 1 {
+		t.Fatalf("hidden pages %d", len(p.Exe.HiddenPages))
+	}
+	hp := p.Exe.HiddenPages[0]
+	// Mapped in the page tables…
+	w := m.UserAS.Translate(hp, nil)
+	if !w.Mapped || !w.Flags.Has(paging.Writable) {
+		t.Fatal("hidden page not mapped rw-")
+	}
+	// …but absent from the maps file.
+	for _, e := range p.Maps() {
+		if hp >= e.Start && hp < e.End {
+			t.Fatalf("hidden page %#x appears in maps entry %+v", uint64(hp), e)
+		}
+	}
+}
+
+func TestMapsRendering(t *testing.T) {
+	_, p := build(t, Config{Seed: 7})
+	out := p.RenderMaps()
+	if !strings.Contains(out, "libc.so") || !strings.Contains(out, "r-x") {
+		t.Fatalf("maps rendering:\n%s", out)
+	}
+	entries := p.Maps()
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Start < entries[i-1].End {
+			t.Fatalf("maps entries overlap: %+v after %+v", entries[i], entries[i-1])
+		}
+	}
+}
+
+func TestGroundTruthPerm(t *testing.T) {
+	_, p := build(t, Config{Seed: 9})
+	libc := p.Libs[0]
+	// r-x page.
+	perm, mapped := p.GroundTruthPerm(libc.Base)
+	if !mapped || perm != PermR {
+		t.Fatalf("r-x ground truth: %v %v", perm, mapped)
+	}
+	// --- page (inside the gap).
+	gap := libc.Base + paging.VirtAddr(0x1e7*paging.Page4K)
+	if _, mapped := p.GroundTruthPerm(gap); mapped {
+		t.Fatal("--- page reported mapped")
+	}
+	// rw- page.
+	rw := libc.Base + paging.VirtAddr((0x1e7+0x200+4)*paging.Page4K)
+	perm, mapped = p.GroundTruthPerm(rw)
+	if !mapped || perm != PermRW {
+		t.Fatalf("rw- ground truth: %v %v", perm, mapped)
+	}
+}
+
+func TestEntropyBitsOverride(t *testing.T) {
+	_, p := build(t, Config{Seed: 11, EntropyBits: 8})
+	if p.Exe.Base >= ExeRegionBase+(1<<(8+12)) {
+		t.Fatalf("exe at %#x beyond 8-bit entropy", uint64(p.Exe.Base))
+	}
+}
+
+func TestLibrariesDoNotOverlap(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		_, p := build(t, Config{Seed: seed, HideLastRWPage: true})
+		for i := 1; i < len(p.Libs); i++ {
+			prev, cur := p.Libs[i-1], p.Libs[i]
+			minStart := prev.End()
+			if len(prev.HiddenPages) > 0 {
+				minStart += paging.Page4K
+			}
+			if cur.Base < minStart {
+				t.Fatalf("%s overlaps %s", cur.Image.Name, prev.Image.Name)
+			}
+		}
+	}
+}
+
+func TestPermString(t *testing.T) {
+	for p, s := range map[Perm]string{PermNone: "---", PermR: "r--", PermRX: "r-x", PermRW: "rw-"} {
+		if p.String() != s {
+			t.Errorf("%v -> %q", p, p.String())
+		}
+	}
+}
