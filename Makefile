@@ -1,0 +1,27 @@
+# Build / verify / benchmark entry points.
+#
+#   make vet     - go vet
+#   make test    - tier-1 (go build ./... && go test ./...)
+#   make bench   - vet + tier-1 + the scan-engine benchmarks; appends the
+#                  parsed results to BENCH_scan.json so the perf trajectory
+#                  is tracked across PRs
+#   make bench-all - same, but runs the full benchmark suite (minutes)
+
+GO ?= go
+
+.PHONY: all vet test bench bench-all
+
+all: vet test
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+bench: vet test
+	./scripts/bench.sh 'BenchmarkScan|BenchmarkExecMasked|BenchmarkProbeMapped'
+
+bench-all: vet test
+	./scripts/bench.sh '.'

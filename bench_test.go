@@ -14,6 +14,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/avx"
@@ -274,6 +275,34 @@ func BenchmarkBaselineComparison(b *testing.B) {
 
 // --- Micro-benchmarks of the simulator itself (host cost per probe) and
 // --- ablations of the attack's design choices.
+
+// BenchmarkScan measures the sharded scan engine on the full module-region
+// sweep (16384 pages — the heaviest recurring scan in Table I) across
+// worker counts. The workers=1 case is the sequential baseline; the
+// speedup at 8 workers is the engine's headline number (wall-clock scaling
+// is bounded by host cores, so expect ~1× in a single-core container and
+// ~Nx on an N-core host — output is bit-identical either way).
+func BenchmarkScan(b *testing.B) {
+	pages := int(linux.ModuleRegionSize / paging.Page4K)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m := machine.New(uarch.AlderLake12400F(), 1)
+			if _, err := linux.Boot(m, linux.Config{Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.NewProber(m, core.Options{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(pages)) // pages probed per op, for MB/s-style throughput
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.ScanMapped(linux.ModuleRegionBase, pages, paging.Page4K)
+			}
+			b.ReportMetric(float64(pages)*float64(b.N)/b.Elapsed().Seconds(), "probes/s")
+		})
+	}
+}
 
 // BenchmarkProbeMapped measures the host cost of one double-execution
 // probe (the simulator's hot path).

@@ -43,8 +43,11 @@ func main() {
 	duration := flag.Float64("duration", 100, "behavior-spy observation window in seconds")
 	entropy := flag.Int("entropy", 16, "user-ASLR entropy bits for the sgx attack (paper: 28)")
 	provider := flag.String("provider", "ec2", "cloud provider: ec2|gce|azure")
+	workers := flag.Int("workers", 0, "scan-engine workers for the VA sweeps (0 = sequential, negative = all CPUs)")
 	list := flag.Bool("list", false, "list CPU presets and exit")
 	flag.Parse()
+
+	scanWorkers = *workers
 
 	if *list {
 		for _, p := range uarch.All() {
@@ -80,6 +83,16 @@ func main() {
 	}
 }
 
+// scanWorkers is the -workers flag value: worker replicas for the sharded
+// scan engine (0 keeps the sequential path; negative means all CPUs,
+// normalized by the prober options).
+var scanWorkers int
+
+// proberOptions returns the prober configuration the CLI attacks share.
+func proberOptions() core.Options {
+	return core.Options{Workers: scanWorkers}
+}
+
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
@@ -92,7 +105,7 @@ func newVictim(preset *uarch.Preset, seed uint64, cfg linux.Config) (*machine.Ma
 	if err != nil {
 		fail("boot: %v", err)
 	}
-	p, err := core.NewProber(m, core.Options{})
+	p, err := core.NewProber(m, proberOptions())
 	if err != nil {
 		fail("calibration: %v", err)
 	}
@@ -179,7 +192,7 @@ func runWindows(preset *uarch.Preset, seed uint64) {
 	if err != nil {
 		fail("boot: %v", err)
 	}
-	p, err := core.NewProber(m, core.Options{})
+	p, err := core.NewProber(m, proberOptions())
 	if err != nil {
 		fail("calibration: %v", err)
 	}
@@ -200,7 +213,7 @@ func runKVAS(preset *uarch.Preset, seed uint64) {
 	if err != nil {
 		fail("boot: %v", err)
 	}
-	p, err := core.NewProber(m, core.Options{})
+	p, err := core.NewProber(m, proberOptions())
 	if err != nil {
 		fail("calibration: %v", err)
 	}
@@ -261,7 +274,7 @@ func runSGX(preset *uarch.Preset, seed uint64, entropyBits int) {
 		fail("enclave: %v", err)
 	}
 	defer enc.Exit()
-	p, err := core.NewProber(m, core.Options{})
+	p, err := core.NewProber(m, proberOptions())
 	if err != nil {
 		fail("calibration: %v", err)
 	}

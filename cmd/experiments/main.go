@@ -22,6 +22,7 @@ func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: default or paper")
 	only := flag.String("only", "", "run only experiments whose ID contains this substring")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the scale's default)")
+	workers := flag.Int("workers", 0, "scan-engine workers for the big VA sweeps (0 = sequential, negative = all CPUs)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -37,6 +38,7 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	sc.Workers = *workers
 
 	runners := []struct {
 		id  string

@@ -98,12 +98,20 @@ func (o Op) ElemAddr(i int) paging.VirtAddr {
 // Pages returns the distinct 4 KiB page base addresses the op's byte range
 // [Addr, Addr+Width) covers: one page, or two when it straddles a boundary.
 func (o Op) Pages() []paging.VirtAddr {
-	first := paging.PageBase(o.Addr, paging.Page4K)
-	last := paging.PageBase(o.Addr+paging.VirtAddr(int(o.Width)-1), paging.Page4K)
+	first, last := o.PageSpan()
 	if first == last {
 		return []paging.VirtAddr{first}
 	}
 	return []paging.VirtAddr{first, last}
+}
+
+// PageSpan returns the first and last 4 KiB page base the op's byte range
+// covers; they are equal when the op does not straddle a page boundary.
+// Allocation-free variant of Pages for hot paths.
+func (o Op) PageSpan() (first, last paging.VirtAddr) {
+	first = paging.PageBase(o.Addr, paging.Page4K)
+	last = paging.PageBase(o.Addr+paging.VirtAddr(int(o.Width)-1), paging.Page4K)
+	return first, last
 }
 
 // ElemsOnPage returns the element indices whose bytes intersect the 4 KiB
@@ -111,9 +119,7 @@ func (o Op) Pages() []paging.VirtAddr {
 func (o Op) ElemsOnPage(pageBase paging.VirtAddr) []int {
 	var idx []int
 	for i := 0; i < o.NumElems(); i++ {
-		lo := o.ElemAddr(i)
-		hi := lo + paging.VirtAddr(int(o.Elem)-1)
-		if paging.PageBase(lo, paging.Page4K) == pageBase || paging.PageBase(hi, paging.Page4K) == pageBase {
+		if o.elemOnPage(i, pageBase) {
 			idx = append(idx, i)
 		}
 	}
@@ -163,17 +169,42 @@ type Outcome struct {
 // stores only, whether the op would be the first write to a clean page
 // (triggering the Dirty-bit assist).
 func Evaluate(o Op, pageState func(pageBase paging.VirtAddr) PageState, dirtyPending func(pageBase paging.VirtAddr) bool) Outcome {
+	return EvaluateBuf(o, pageState, dirtyPending, nil)
+}
+
+// EvaluateBuf is Evaluate with a caller-provided backing buffer for
+// Outcome.MovedElems (may be nil), so hot probing loops can evaluate a
+// masked op without allocating. An op has at most NumElems moved elements.
+func EvaluateBuf(o Op, pageState func(pageBase paging.VirtAddr) PageState, dirtyPending func(pageBase paging.VirtAddr) bool, movedBuf []int) Outcome {
 	var out Outcome
-	for _, page := range o.Pages() {
+	moved := movedBuf[:0]
+	// seen de-duplicates boundary-straddling elements that intersect both
+	// pages (NumElems ≤ 8, so a bitmask suffices).
+	var seen uint16
+	first, last := o.PageSpan()
+	npages := 1
+	if last != first {
+		npages = 2
+	}
+	for pi := 0; pi < npages; pi++ {
+		page := first
+		if pi == 1 {
+			page = last
+		}
 		st := pageState(page)
-		elems := o.ElemsOnPage(page)
 		if st.Accessible(o.Store) {
-			for _, i := range elems {
-				if o.Mask.Bit(i) {
-					out.MovedElems = append(out.MovedElems, i)
+			anySet := false
+			for i := 0; i < o.NumElems(); i++ {
+				if !o.elemOnPage(i, page) || !o.Mask.Bit(i) {
+					continue
+				}
+				anySet = true
+				if seen&(1<<i) == 0 {
+					seen |= 1 << i
+					moved = append(moved, i)
 				}
 			}
-			if o.Store && dirtyPending != nil && dirtyPending(page) && anySet(o.Mask, elems) {
+			if o.Store && dirtyPending != nil && dirtyPending(page) && anySet {
 				// First real write to a clean page: hardware sets the
 				// Dirty bit via a microcode assist.
 				out.Assist = true
@@ -183,7 +214,10 @@ func Evaluate(o Op, pageState func(pageBase paging.VirtAddr) PageState, dirtyPen
 		// Page is invalid or inaccessible: the instruction microcode must
 		// inspect the mask — this is the assist the side channel times.
 		out.Assist = true
-		for _, i := range elems {
+		for i := 0; i < o.NumElems(); i++ {
+			if !o.elemOnPage(i, page) {
+				continue
+			}
 			if o.Mask.Bit(i) {
 				if !out.Fault {
 					out.Fault = true
@@ -194,34 +228,18 @@ func Evaluate(o Op, pageState func(pageBase paging.VirtAddr) PageState, dirtyPen
 			}
 		}
 	}
-	// De-duplicate moved elements for boundary-straddling elements counted
-	// on both pages.
-	out.MovedElems = dedupInts(out.MovedElems)
+	if len(moved) > 0 {
+		out.MovedElems = moved
+	}
 	return out
 }
 
-func anySet(m Mask, elems []int) bool {
-	for _, i := range elems {
-		if m.Bit(i) {
-			return true
-		}
-	}
-	return false
-}
-
-func dedupInts(xs []int) []int {
-	if len(xs) < 2 {
-		return xs
-	}
-	seen := make(map[int]bool, len(xs))
-	out := xs[:0]
-	for _, x := range xs {
-		if !seen[x] {
-			seen[x] = true
-			out = append(out, x)
-		}
-	}
-	return out
+// elemOnPage reports whether element i's bytes intersect the 4 KiB page at
+// pageBase (allocation-free form of ElemsOnPage).
+func (o Op) elemOnPage(i int, pageBase paging.VirtAddr) bool {
+	lo := o.ElemAddr(i)
+	hi := lo + paging.VirtAddr(int(o.Elem)-1)
+	return paging.PageBase(lo, paging.Page4K) == pageBase || paging.PageBase(hi, paging.Page4K) == pageBase
 }
 
 // String renders the op in assembler-ish syntax for diagnostics.

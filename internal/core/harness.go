@@ -47,6 +47,13 @@ func (r TrialReport) String() string {
 // (the paper's Table I methodology: reboot, attack, check
 // /proc/kallsyms).
 func EvaluateKernelBase(preset *uarch.Preset, n int, seed uint64) (TrialReport, error) {
+	return EvaluateKernelBaseOpt(preset, n, seed, Options{})
+}
+
+// EvaluateKernelBaseOpt is EvaluateKernelBase with explicit prober options
+// (notably Options.Workers, which routes the slot scan through the sharded
+// parallel engine).
+func EvaluateKernelBaseOpt(preset *uarch.Preset, n int, seed uint64, opt Options) (TrialReport, error) {
 	rep := TrialReport{CPU: preset.Name, Target: "Base", Trials: n}
 	var probeSum, totalSum float64
 	for i := 0; i < n; i++ {
@@ -56,7 +63,7 @@ func EvaluateKernelBase(preset *uarch.Preset, n int, seed uint64) (TrialReport, 
 		if err != nil {
 			return rep, err
 		}
-		p, err := NewProber(m, Options{})
+		p, err := NewProber(m, opt)
 		if err != nil {
 			return rep, err
 		}
@@ -80,6 +87,11 @@ func EvaluateKernelBase(preset *uarch.Preset, n int, seed uint64) (TrialReport, 
 // accuracy is the fraction of loaded modules whose base and size were
 // recovered exactly (the Table I "Modules" rows).
 func EvaluateModules(preset *uarch.Preset, n int, seed uint64) (TrialReport, error) {
+	return EvaluateModulesOpt(preset, n, seed, Options{})
+}
+
+// EvaluateModulesOpt is EvaluateModules with explicit prober options.
+func EvaluateModulesOpt(preset *uarch.Preset, n int, seed uint64, opt Options) (TrialReport, error) {
 	rep := TrialReport{CPU: preset.Name, Target: "Modules", Trials: n}
 	var probeSum, totalSum, accSum float64
 	for i := 0; i < n; i++ {
@@ -89,7 +101,7 @@ func EvaluateModules(preset *uarch.Preset, n int, seed uint64) (TrialReport, err
 		if err != nil {
 			return rep, err
 		}
-		p, err := NewProber(m, Options{})
+		p, err := NewProber(m, opt)
 		if err != nil {
 			return rep, err
 		}

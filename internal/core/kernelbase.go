@@ -76,19 +76,26 @@ func (KernelBaseResult) calibrationCycles(p *Prober) uint64 {
 	return n*per + 2*uint64(p.M.Preset.SyscallCost)
 }
 
+// kernelBaseIntel probes all 512 text slots through ScanMapped — the same
+// sweep primitive the module and Windows attacks use — so it parallelizes
+// under Options.Workers. Note this includes ScanMapped's min-of-3 healing
+// re-probe of isolated verdict flips (at any worker setting), which the
+// pre-engine slot loop did not have: same-seed Samples/ProbeCycles differ
+// slightly from earlier revisions, in exchange for spike robustness.
 func kernelBaseIntel(p *Prober) KernelBaseResult {
 	var res KernelBaseResult
 	probeStart := p.M.RDTSC()
+	mapped, cycles := p.ScanMapped(linux.TextRegionBase, linux.TextSlots, paging.Page2M)
+	res.ProbeCycles = p.M.RDTSC() - probeStart
 	firstMapped := -1
+	res.Samples = make([]OffsetSample, linux.TextSlots)
 	for slot := 0; slot < linux.TextSlots; slot++ {
 		va := linux.TextRegionBase + paging.VirtAddr(uint64(slot)<<21)
-		pr := p.ProbeMapped(va)
-		res.Samples = append(res.Samples, OffsetSample{Slot: slot, VA: va, Cycles: pr.Cycles, Mapped: pr.Fast})
-		if pr.Fast && firstMapped < 0 {
+		res.Samples[slot] = OffsetSample{Slot: slot, VA: va, Cycles: cycles[slot], Mapped: mapped[slot]}
+		if mapped[slot] && firstMapped < 0 {
 			firstMapped = slot
 		}
 	}
-	res.ProbeCycles = p.M.RDTSC() - probeStart
 	if firstMapped >= 0 {
 		res.Base = linux.TextRegionBase + paging.VirtAddr(uint64(firstMapped)<<21)
 	}

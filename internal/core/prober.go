@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/avx"
@@ -52,6 +53,16 @@ type Options struct {
 	Margin float64
 	// ExtraJitterSigma adds timer jitter (SGX counting-thread fallback).
 	ExtraJitterSigma float64
+	// Workers selects the scan path of ScanMapped. 0 keeps the legacy
+	// in-place sequential loop on the prober's own machine; any value >= 1
+	// routes the scan through the sharded engine (internal/scan) with that
+	// many worker machine replicas; negative means "all CPUs"
+	// (normalized to runtime.NumCPU by withDefaults). Engine output is
+	// bit-identical across worker counts for a fixed machine seed, so
+	// Workers=1 is the deterministic sequential baseline of Workers=N.
+	Workers int
+	// ScanChunkPages overrides the engine shard granularity (0 = default).
+	ScanChunkPages int
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +74,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Margin == 0 {
 		o.Margin = 4
+	}
+	if o.Workers < 0 {
+		o.Workers = runtime.NumCPU()
 	}
 	return o
 }
@@ -88,6 +102,14 @@ type Prober struct {
 	calibrated bool
 	scratchVA  paging.VirtAddr
 	faults     int
+
+	// sampleBuf and sortBuf are per-probe scratch buffers, reused so the
+	// multi-sample probe and reduction paths do not allocate per probe.
+	sampleBuf []float64
+	sortBuf   []float64
+	// scanEpoch salts the engine seed per ScanMapped call so consecutive
+	// scans on one prober draw independent noise.
+	scanEpoch uint64
 }
 
 // NewProber creates and calibrates a prober.
@@ -113,7 +135,7 @@ func (p *Prober) Calibrate() error {
 	// Raw dirty-store timings, one per fresh page; they are reduced in
 	// groups of ProbeSamples with the probe estimator so that the
 	// threshold lives on the same scale as the reduced probe values.
-	var fastRaw []float64
+	fastRaw := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
 		va := p.scratchVA + paging.VirtAddr(i*paging.Page4K)
 		// Pre-touch with a load so the translation is TLB-resident and
@@ -128,7 +150,7 @@ func (p *Prober) Calibrate() error {
 	fast := p.reduceGroups(fastRaw)
 	// Zero-mask stores on our own (now dirty) rw- pages sample the
 	// assist-free store path for the permission attack's threshold.
-	var storeRaw []float64
+	storeRaw := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
 		va := p.scratchVA + paging.VirtAddr(i*paging.Page4K)
 		t, r := p.M.Measure(avx.MaskedStore(va, avx.ZeroMask))
@@ -146,7 +168,7 @@ func (p *Prober) Calibrate() error {
 		// Slow-class sample: the scratch addresses are unmapped now, so
 		// probing them times the walk+assist path without touching any
 		// foreign memory.
-		var slowRaw []float64
+		slowRaw := make([]float64, 0, n)
 		for i := 0; i < n; i++ {
 			va := p.scratchVA + paging.VirtAddr(i*paging.Page4K)
 			slowRaw = append(slowRaw, p.measureLoad(va))
@@ -189,14 +211,17 @@ func (p *Prober) reduceGroups(raw []float64) *stats.Sample {
 	return out
 }
 
-// reduce collapses one probe's sample set to its decision value.
+// reduce collapses one probe's sample set to its decision value. The
+// trimmed-mean path sorts into a reused scratch buffer instead of
+// allocating and re-sorting a fresh copy on every probe.
 func (p *Prober) reduce(xs []float64) float64 {
 	switch p.Opt.Estimator {
 	case EstTrimmedMean:
 		if len(xs) == 1 {
 			return xs[0]
 		}
-		sorted := append([]float64(nil), xs...)
+		sorted := append(p.sortBuf[:0], xs...)
+		p.sortBuf = sorted
 		sort.Float64s(sorted)
 		keep := len(sorted) - len(sorted)/4
 		sum := 0.0
@@ -262,7 +287,7 @@ func (p *Prober) ProbeMapped(va paging.VirtAddr) ProbeResult {
 		t := p.measureLoad(va)
 		return ProbeResult{VA: va, Cycles: t, Fast: p.Threshold.Classify(t)}
 	}
-	xs := make([]float64, k)
+	xs := p.samples(k)
 	for s := 0; s < k; s++ {
 		xs[s] = p.measureLoad(va)
 	}
@@ -270,12 +295,20 @@ func (p *Prober) ProbeMapped(va paging.VirtAddr) ProbeResult {
 	return ProbeResult{VA: va, Cycles: v, Fast: p.Threshold.Classify(v)}
 }
 
+// samples returns the reusable k-element sample scratch buffer.
+func (p *Prober) samples(k int) []float64 {
+	if cap(p.sampleBuf) < k {
+		p.sampleBuf = make([]float64, k)
+	}
+	return p.sampleBuf[:k]
+}
+
 // ProbeMappedStore is ProbeMapped using masked stores (P6: slightly faster;
 // used by the §IV-F store-scan variant).
 func (p *Prober) ProbeMappedStore(va paging.VirtAddr) ProbeResult {
 	p.M.ExecMasked(avx.MaskedStore(va, avx.ZeroMask))
 	k := p.Opt.ProbeSamples
-	xs := make([]float64, k)
+	xs := p.samples(k)
 	for s := 0; s < k; s++ {
 		xs[s] = p.measureStore(va)
 	}
@@ -318,7 +351,15 @@ func (p *Prober) ProbeTermLevel(va paging.VirtAddr, samples int) TermProbe {
 // disagrees with both neighbours: interrupt spikes produce isolated false
 // "unmapped" reads that would split a module or image run in two. The
 // second pass is what the paper's 99.7–99.8 % module accuracy implies.
+//
+// With Opt.Workers >= 1 the sweep runs on the sharded parallel engine
+// (internal/scan) across that many machine replicas; the merged output is
+// bit-identical for any worker count at a fixed machine seed. Workers == 0
+// keeps the legacy sequential loop on the prober's own machine.
 func (p *Prober) ScanMapped(start paging.VirtAddr, n int, stride uint64) ([]bool, []float64) {
+	if p.Opt.Workers >= 1 {
+		return p.scanMappedEngine(start, n, stride)
+	}
 	mapped := make([]bool, n)
 	cycles := make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -326,6 +367,11 @@ func (p *Prober) ScanMapped(start paging.VirtAddr, n int, stride uint64) ([]bool
 		mapped[i] = pr.Fast
 		cycles[i] = pr.Cycles
 	}
+	// Healing pass. The engine path implements the same rule in
+	// scan.Engine.heal, but on reset translation state with a dedicated
+	// noise stream (required for order-independence); this warm-state,
+	// continuous-stream variant is kept verbatim as the seed-exact
+	// sequential behaviour. Keep the two neighbour rules in sync.
 	for i := 0; i < n; i++ {
 		left := i == 0 || mapped[i-1] != mapped[i]
 		right := i == n-1 || mapped[i+1] != mapped[i]

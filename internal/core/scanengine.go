@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repro/internal/machine"
+	"repro/internal/paging"
+	"repro/internal/scan"
+)
+
+// CloneTo creates a prober on a machine replica, inheriting this prober's
+// calibrated thresholds and options without recalibrating. Calibration maps
+// and unmaps scratch pages — a mutation the shared address space of a
+// replica must not see — and the thresholds are a property of the preset
+// and noise model, not of the machine instance, so reusing them is exactly
+// what a real attacker's single calibration amortized over many probing
+// threads would do.
+func (p *Prober) CloneTo(m *machine.Machine) *Prober {
+	return &Prober{
+		M:              m,
+		Opt:            p.Opt,
+		Threshold:      p.Threshold,
+		StoreThreshold: p.StoreThreshold,
+		calibrated:     p.calibrated,
+		scratchVA:      p.scratchVA,
+	}
+}
+
+// scanWorker adapts a cloned Prober to scan.Worker.
+type scanWorker struct {
+	p  *Prober
+	t0 uint64
+}
+
+func (w *scanWorker) Start(chunkSeed uint64) {
+	w.p.M.ReseedNoise(chunkSeed)
+	w.p.M.ResetTranslationState()
+	w.t0 = w.p.M.RDTSC()
+}
+
+func (w *scanWorker) Probe(va paging.VirtAddr) scan.Sample {
+	pr := w.p.ProbeMapped(va)
+	return scan.Sample{Cycles: pr.Cycles, Fast: pr.Fast}
+}
+
+func (w *scanWorker) Classify(cycles float64) bool {
+	return w.p.Threshold.Classify(cycles)
+}
+
+func (w *scanWorker) Elapsed() uint64 { return w.p.M.RDTSC() - w.t0 }
+
+// scanMappedEngine runs ScanMapped on the sharded engine: one machine
+// replica per worker, chunk-deterministic noise, and a deterministic merge
+// plus healing pass (see internal/scan). The workers' simulated probing
+// cycles, performance counters and fault counts are folded back into the
+// prober's machine afterwards, so RDTSC-based runtime accounting in the
+// attack drivers is unchanged: parallelism buys host wall-clock, not
+// simulated attacker time.
+func (p *Prober) scanMappedEngine(start paging.VirtAddr, n int, stride uint64) ([]bool, []float64) {
+	p.scanEpoch++
+	seed := p.M.Seed() ^ (p.scanEpoch * 0x9e3779b97f4a7c15)
+	var workers []*scanWorker
+	eng := scan.New(scan.Config{
+		Workers:    p.Opt.Workers,
+		ChunkPages: p.Opt.ScanChunkPages,
+		Seed:       seed,
+	}, func(id int) scan.Worker {
+		w := &scanWorker{p: p.CloneTo(p.M.Clone(seed + uint64(id)))}
+		workers = append(workers, w)
+		return w
+	})
+	res := eng.Scan(start, n, stride)
+	for _, w := range workers {
+		p.faults += w.p.faults
+		p.M.Counters.Merge(w.p.M.Counters)
+	}
+	p.M.AdvanceCycles(res.SimCycles)
+	return res.Mapped, res.Cycles
+}

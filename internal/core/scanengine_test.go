@@ -1,0 +1,124 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/paging"
+	"repro/internal/uarch"
+)
+
+// engineProber boots a fresh victim with the given seed and scan options.
+func engineProber(t *testing.T, seed uint64, workers int) (*Prober, *linux.Kernel) {
+	t.Helper()
+	m := machine.New(uarch.AlderLake12400F(), seed)
+	k, err := linux.Boot(m, linux.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProber(m, Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, k
+}
+
+// The headline determinism guarantee: for the same machine seed, a parallel
+// scan (workers > 1) produces bit-identical output — verdicts AND raw cycle
+// measurements — to the sequential scan (workers = 1).
+func TestScanMappedParallelParity(t *testing.T) {
+	const seed = 101
+	const pages = 2048
+	pSeq, _ := engineProber(t, seed, 1)
+	mappedSeq, cyclesSeq := pSeq.ScanMapped(linux.ModuleRegionBase, pages, paging.Page4K)
+
+	for _, workers := range []int{2, 8} {
+		pPar, _ := engineProber(t, seed, workers)
+		mappedPar, cyclesPar := pPar.ScanMapped(linux.ModuleRegionBase, pages, paging.Page4K)
+		if !reflect.DeepEqual(mappedSeq, mappedPar) {
+			t.Fatalf("workers=%d: mapped bitmap differs from sequential", workers)
+		}
+		if !reflect.DeepEqual(cyclesSeq, cyclesPar) {
+			t.Fatalf("workers=%d: cycle measurements differ from sequential", workers)
+		}
+	}
+}
+
+// Engine scans must agree with page-table ground truth (the heal pass
+// removes isolated noise flips, so the match should be essentially exact).
+func TestScanMappedEngineMatchesGroundTruth(t *testing.T) {
+	p, _ := engineProber(t, 103, 4)
+	const pages = 4096
+	mapped, _ := p.ScanMapped(linux.ModuleRegionBase, pages, paging.Page4K)
+	errs := 0
+	for i := 0; i < pages; i++ {
+		va := linux.ModuleRegionBase + paging.VirtAddr(uint64(i)<<12)
+		truth := p.M.KernelAS.Translate(va, nil).Mapped
+		if mapped[i] != truth {
+			errs++
+		}
+	}
+	if rate := float64(errs) / pages; rate > 0.005 {
+		t.Fatalf("engine scan error rate %.4f over %d pages", rate, pages)
+	}
+	if p.Faults() != 0 {
+		t.Fatalf("engine scan delivered %d faults", p.Faults())
+	}
+}
+
+// The engine folds the workers' simulated probing time back into the base
+// machine, so RDTSC-based runtime accounting (Table I) keeps working.
+func TestScanMappedEngineAdvancesSimulatedTime(t *testing.T) {
+	p, _ := engineProber(t, 105, 4)
+	t0 := p.M.RDTSC()
+	p.ScanMapped(linux.ModuleRegionBase, 1024, paging.Page4K)
+	elapsed := p.M.RDTSC() - t0
+	// 1024 double-execution probes cost at least ~100 simulated cycles each.
+	if elapsed < 1024*100 {
+		t.Fatalf("simulated probing time not accounted: %d cycles", elapsed)
+	}
+}
+
+// A full attack through the engine must still recover the kernel base and
+// the loaded modules.
+func TestAttacksThroughEngine(t *testing.T) {
+	p, k := engineProber(t, 107, 8)
+	res, err := KernelBase(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Base != k.Base {
+		t.Fatalf("engine kernel base %#x, truth %#x", uint64(res.Base), uint64(k.Base))
+	}
+
+	table := SizeTable(k.ProcModules())
+	mres := Modules(p, table)
+	score := ScoreModules(mres, k.Modules, table)
+	if acc := score.DetectionAccuracy(); acc < 0.98 {
+		t.Fatalf("engine module detection accuracy %.3f", acc)
+	}
+}
+
+// CloneTo must inherit calibration without touching the shared address
+// space, and replica probes must classify like the parent's.
+func TestCloneToInheritsCalibration(t *testing.T) {
+	p, k := engineProber(t, 109, 0)
+	clone := p.CloneTo(p.M.Clone(1234))
+	// (SlowMean is NaN for one-sided calibration, so compare the decision
+	// fields rather than the whole structs.)
+	if clone.Threshold.Cycles != p.Threshold.Cycles || clone.StoreThreshold.Cycles != p.StoreThreshold.Cycles {
+		t.Fatal("thresholds not inherited")
+	}
+	if !clone.ProbeMapped(k.Base).Fast {
+		t.Fatal("replica probe of mapped kernel base read slow")
+	}
+	if clone.ProbeMapped(k.Base - 8*paging.Page2M).Fast {
+		t.Fatal("replica probe of unmapped slot read fast")
+	}
+	// The clone's probing must not have perturbed the parent's TLB.
+	if clone.M.TLB == p.M.TLB {
+		t.Fatal("replica shares the parent's TLB")
+	}
+}

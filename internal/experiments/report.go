@@ -65,6 +65,11 @@ type Scale struct {
 	BehaviorSeconds float64
 	// Seed makes every experiment deterministic.
 	Seed uint64
+	// Workers routes the big VA scans through the sharded parallel scan
+	// engine with that many worker replicas (0 keeps the legacy sequential
+	// path). Results are deterministic for a fixed seed at any worker
+	// count; only host wall-clock changes.
+	Workers int
 }
 
 // DefaultScale is CI-friendly: every experiment finishes in seconds.

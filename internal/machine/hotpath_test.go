@@ -1,0 +1,130 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/avx"
+	"repro/internal/paging"
+	"repro/internal/perf"
+	"repro/internal/uarch"
+)
+
+// The probing hot path must not allocate: ScanMapped issues millions of
+// ExecMasked calls per sweep, and per-call garbage was the dominant host
+// cost before the scratch-buffer rewrite.
+func TestExecMaskedZeroAlloc(t *testing.T) {
+	m := New(uarch.IceLake1065G7(), 1)
+	if err := m.MapUser(0x7e0000000000, 4*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		op   avx.Op
+	}{
+		{"zero-mask load, unmapped kernel", avx.MaskedLoad(0xffffffff81000000, avx.ZeroMask)},
+		{"zero-mask load, mapped user", avx.MaskedLoad(0x7e0000000000, avx.ZeroMask)},
+		{"zero-mask load, straddling", avx.MaskedLoad(0x7e0000000ff0, avx.ZeroMask)},
+		{"zero-mask store", avx.MaskedStore(0x7e0000001000, avx.ZeroMask)},
+	}
+	for _, tc := range cases {
+		op := tc.op
+		if n := testing.AllocsPerRun(1000, func() { m.ExecMasked(op) }); n > 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, n)
+		}
+	}
+	// The full measurement bracket (fences + noise) must stay
+	// allocation-free too.
+	op := avx.MaskedLoad(0xffffffff81000000, avx.ZeroMask)
+	if n := testing.AllocsPerRun(1000, func() { m.Measure(op) }); n > 0 {
+		t.Errorf("Measure: %v allocs/op, want 0", n)
+	}
+}
+
+// Clone shares the victim's address spaces copy-on-read but owns all
+// attacker-local microarchitectural state.
+func TestCloneSharesAddressSpacePrivateState(t *testing.T) {
+	m := New(uarch.AlderLake12400F(), 5)
+	if err := m.MapUser(0x7e0000000000, 2*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone(77)
+	if c.UserAS != m.UserAS || c.KernelAS != m.KernelAS {
+		t.Fatal("clone does not share the address spaces")
+	}
+	if c.TLB == m.TLB || c.PSC == m.PSC || c.PTELines == m.PTELines {
+		t.Fatal("clone shares mutable microarchitectural state")
+	}
+	// The clone sees the parent's mappings...
+	if !c.UserAS.Translate(0x7e0000000000, nil).Mapped {
+		t.Fatal("clone cannot translate the parent's mapping")
+	}
+	// ...but its TLB fills and counter increments do not leak into the
+	// parent. The zero-mask load misses the clone's empty TLB, so it must
+	// count a TLB miss there and nowhere else.
+	c.ExecMasked(avx.MaskedLoad(0x7e0000000000, avx.ZeroMask))
+	if n := m.TLB.EntryCount(); n != 0 {
+		t.Fatalf("clone probe installed %d entries in the parent TLB", n)
+	}
+	if c.Counters.Read(perf.TLBMiss) == 0 {
+		t.Fatal("clone probe did not count its TLB miss")
+	}
+	if m.Counters.Read(perf.TLBMiss) != 0 {
+		t.Fatal("clone probe incremented the parent's counters")
+	}
+}
+
+// Two clones with the same noise seed must produce identical measurement
+// streams for the same probe sequence — the property the scan engine's
+// per-chunk determinism is built on.
+func TestCloneDeterministicMeasurements(t *testing.T) {
+	m := New(uarch.AlderLake12400F(), 9)
+	if err := m.MapUser(0x7e0000000000, 8*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed uint64) []float64 {
+		c := m.Clone(seed)
+		c.ReseedNoise(seed)
+		c.ResetTranslationState()
+		var out []float64
+		for i := 0; i < 32; i++ {
+			va := paging.VirtAddr(0x7e0000000000 + uint64(i%8)*paging.Page4K)
+			t1, _ := c.Measure(avx.MaskedLoad(va, avx.ZeroMask))
+			out = append(out, t1)
+		}
+		return out
+	}
+	a, b := run(123), run(123)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("measurement %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(456)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different noise seeds produced identical measurement streams")
+	}
+}
+
+// ResetTranslationState must empty every translation structure.
+func TestResetTranslationState(t *testing.T) {
+	m := New(uarch.AlderLake12400F(), 11)
+	if err := m.MapUser(0x7e0000000000, 4*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		m.ExecMasked(avx.MaskedLoad(0x7e0000000000+paging.VirtAddr(i*paging.Page4K), avx.ZeroMask))
+	}
+	if m.TLB.EntryCount() == 0 {
+		t.Fatal("probes did not warm the TLB")
+	}
+	m.ResetTranslationState()
+	if m.TLB.EntryCount() != 0 || m.PSC.EntryCount() != 0 || m.PTELines.Resident() != 0 {
+		t.Fatal("translation state not fully reset")
+	}
+}

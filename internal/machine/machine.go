@@ -50,11 +50,24 @@ type Machine struct {
 	InEnclave bool
 
 	tsc     uint64
+	seed    uint64
 	noise   *rng.Source
 	backing map[phys.PFN]*[phys.FrameSize]byte
 
 	visitBuf []phys.PFN
 	elemBuf  [8]uint32
+
+	// Per-call scratch state of ExecMasked: the page translations of the
+	// current op (at most two pages) plus the moved-element buffer, reused
+	// across calls so the probing hot path is allocation-free. stateFn and
+	// dirtyFn are built once (in initHotPath) because constructing a closure
+	// per ExecMasked call would itself allocate.
+	scratchVA [2]paging.VirtAddr
+	scratchPI [2]pageInfo
+	scratchN  int
+	movedBuf  [8]int
+	stateFn   func(paging.VirtAddr) avx.PageState
+	dirtyFn   func(paging.VirtAddr) bool
 }
 
 // New creates a machine with the given preset and deterministic seed.
@@ -74,10 +87,94 @@ func New(p *uarch.Preset, seed uint64) *Machine {
 		TLB:      tlb.NewTLB(tlb.DefaultTLBConfig()),
 		PSC:      tlb.NewPSC(),
 		PTELines: ptecache.New(1024, 8),
+		seed:     seed,
 		noise:    rng.New(seed),
 		backing:  make(map[phys.PFN]*[phys.FrameSize]byte),
 	}
+	m.initHotPath()
 	return m
+}
+
+// Seed returns the seed the machine's noise stream was created with.
+func (m *Machine) Seed() uint64 { return m.seed }
+
+// initHotPath builds the closures ExecMasked hands to avx.EvaluateBuf. They
+// read the per-op scratch translations off the machine, so they are built
+// once per machine instead of once per instruction (a per-call closure
+// would allocate on every probe).
+func (m *Machine) initHotPath() {
+	m.stateFn = func(page paging.VirtAddr) avx.PageState {
+		return walkState(&m.scratchWalk(page).walk)
+	}
+	m.dirtyFn = func(page paging.VirtAddr) bool {
+		w := &m.scratchWalk(page).walk
+		return w.Mapped && !w.Dirty
+	}
+}
+
+// walkState maps a walk result to the page state the masked-op semantics
+// consume (shared by the evaluation closures and assistCost).
+func walkState(w *paging.Walk) avx.PageState {
+	return avx.PageState{
+		Mapped:   w.Mapped,
+		Writable: w.Flags.Has(paging.Writable),
+		UserOK:   w.Flags.Has(paging.User),
+	}
+}
+
+// scratchWalk returns the scratch translation of one of the current op's
+// pages (filled by ExecMasked before evaluation).
+func (m *Machine) scratchWalk(page paging.VirtAddr) *pageInfo {
+	if m.scratchN > 1 && m.scratchVA[1] == page {
+		return &m.scratchPI[1]
+	}
+	return &m.scratchPI[0]
+}
+
+// Clone creates a worker replica for parallel scanning: it shares the
+// (immutable-during-scan) kernel and user address spaces, the physical
+// allocator and the preset with the parent, while the attacker-local
+// microarchitectural state — TLB, paging-structure caches, PTE-line cache,
+// performance counters, noise stream and clock — is fresh and private, so
+// replicas can probe concurrently without contending on shared mutable
+// state.
+//
+// A clone is a read-only view of the address space: address-space mutations
+// (MapUser, UnmapUser, ProtectUser, data-moving masked ops) must not run on
+// any machine sharing the spaces while clones are probing.
+func (m *Machine) Clone(noiseSeed uint64) *Machine {
+	c := &Machine{
+		Preset:    m.Preset,
+		Alloc:     m.Alloc,
+		KernelAS:  m.KernelAS,
+		UserAS:    m.UserAS,
+		TLB:       tlb.NewTLB(m.TLB.Config()),
+		PSC:       tlb.NewPSC(),
+		PTELines:  ptecache.New(m.PTELines.Sets(), m.PTELines.Ways()),
+		InEnclave: m.InEnclave,
+		tsc:       m.tsc,
+		seed:      noiseSeed,
+		noise:     rng.New(noiseSeed),
+		backing:   make(map[phys.PFN]*[phys.FrameSize]byte),
+	}
+	c.PSC.Enabled = m.PSC.Enabled
+	c.initHotPath()
+	return c
+}
+
+// ReseedNoise restarts the measurement-noise stream from seed. The scan
+// engine reseeds per VA chunk so a chunk's measurements depend only on the
+// chunk, not on which worker ran it or in what order.
+func (m *Machine) ReseedNoise(seed uint64) { m.noise = rng.New(seed) }
+
+// ResetTranslationState empties the TLB, the paging-structure caches and
+// the PTE-line cache without charging attacker time (a simulator-level
+// reset, not an attack action). The scan engine resets per VA chunk so
+// chunk results are independent of probe order.
+func (m *Machine) ResetTranslationState() {
+	m.TLB.Flush(false)
+	m.PSC.Flush()
+	m.PTELines.Flush()
 }
 
 // InstallAddressSpaces sets the kernel and user address-space roots. For a
@@ -249,11 +346,16 @@ func (m *Machine) ExecMasked(op avx.Op) Result {
 	}
 	r.TermLevel = paging.LevelNone
 
-	pages := op.Pages()
-	infos := make(map[paging.VirtAddr]pageInfo, len(pages))
-	for i, page := range pages {
-		pi := m.translate(m.UserAS, page, true)
-		infos[page] = pi
+	first, last := op.PageSpan()
+	m.scratchVA[0] = first
+	m.scratchN = 1
+	if last != first {
+		m.scratchVA[1] = last
+		m.scratchN = 2
+	}
+	for i := 0; i < m.scratchN; i++ {
+		pi := m.translate(m.UserAS, m.scratchVA[i], true)
+		m.scratchPI[i] = pi
 		r.Cycles += pi.cycles
 		if pi.walked {
 			m.Counters.Inc(walkCounterFor(op.Store))
@@ -269,20 +371,7 @@ func (m *Machine) ExecMasked(op avx.Op) Result {
 		}
 	}
 
-	stateOf := func(page paging.VirtAddr) avx.PageState {
-		w := infos[page].walk
-		return avx.PageState{
-			Mapped:   w.Mapped,
-			Writable: w.Flags.Has(paging.Writable),
-			UserOK:   w.Flags.Has(paging.User),
-		}
-	}
-	dirtyPending := func(page paging.VirtAddr) bool {
-		w := infos[page].walk
-		return w.Mapped && !w.Dirty
-	}
-
-	out := avx.Evaluate(op, stateOf, dirtyPending)
+	out := avx.EvaluateBuf(op, m.stateFn, m.dirtyFn, m.movedBuf[:0])
 	if out.Suppressed > 0 {
 		m.Counters.Add(perf.FaultSuppressed, uint64(out.Suppressed))
 	}
@@ -295,7 +384,7 @@ func (m *Machine) ExecMasked(op avx.Op) Result {
 			m.Counters.Inc(perf.PageFault)
 			r.Cycles += m.Preset.FaultCost
 		} else {
-			r.Cycles += m.assistCost(op, infos, dirtyPending)
+			r.Cycles += m.assistCost(op)
 		}
 	}
 
@@ -313,19 +402,14 @@ func (m *Machine) ExecMasked(op avx.Op) Result {
 
 // assistCost decides which assist penalty applies: the dirty-bit assist
 // for a store whose only problem is a clean destination page, otherwise
-// the invalid/inaccessible-page assist of the access kind.
-func (m *Machine) assistCost(op avx.Op, infos map[paging.VirtAddr]pageInfo, dirtyPending func(paging.VirtAddr) bool) float64 {
+// the invalid/inaccessible-page assist of the access kind. It reads the
+// scratch translations ExecMasked filled for the current op.
+func (m *Machine) assistCost(op avx.Op) float64 {
 	badPage := false
-	for page, pi := range infos {
-		st := avx.PageState{
-			Mapped:   pi.walk.Mapped,
-			Writable: pi.walk.Flags.Has(paging.Writable),
-			UserOK:   pi.walk.Flags.Has(paging.User),
-		}
-		if !st.Accessible(op.Store) {
+	for i := 0; i < m.scratchN; i++ {
+		if !walkState(&m.scratchPI[i].walk).Accessible(op.Store) {
 			badPage = true
 		}
-		_ = page
 	}
 	if !badPage && op.Store {
 		m.Counters.Inc(perf.DirtyAssist)
@@ -343,7 +427,8 @@ func (m *Machine) moveData(op avx.Op, moved []int, r *Result) {
 	for _, i := range moved {
 		ea := op.ElemAddr(i)
 		page := paging.PageBase(ea, paging.Page4K)
-		w := m.UserAS.Translate(page, nil)
+		w := m.UserAS.Translate(page, m.visitBuf)
+		m.visitBuf = w.Visited
 		if !w.Mapped {
 			continue
 		}
@@ -366,10 +451,15 @@ func (m *Machine) moveData(op avx.Op, moved []int, r *Result) {
 	}
 	if op.Store {
 		// Refresh cached dirty state so subsequent stores are assist-free.
-		for _, page := range op.Pages() {
-			w := m.UserAS.Translate(page, nil)
+		first, last := op.PageSpan()
+		for page := first; ; page += paging.Page4K {
+			w := m.UserAS.Translate(page, m.visitBuf)
+			m.visitBuf = w.Visited
 			if w.Mapped {
 				m.refreshTLBFlags(page, w)
+			}
+			if page == last {
+				break
 			}
 		}
 	}

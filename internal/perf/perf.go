@@ -82,6 +82,14 @@ func (c *Counters) Reset() { c.counts = [numEvents]uint64{} }
 // Snapshot returns a copy of the bank, for before/after deltas.
 func (c *Counters) Snapshot() Counters { return *c }
 
+// Merge adds another bank's counts into c (the scan engine folds worker
+// replicas' counters back into the base machine).
+func (c *Counters) Merge(o Counters) {
+	for e := range c.counts {
+		c.counts[e] += o.counts[e]
+	}
+}
+
 // Delta returns the per-event difference c - old.
 func (c *Counters) Delta(old Counters) map[Event]uint64 {
 	d := make(map[Event]uint64)

@@ -22,6 +22,12 @@ type Cache struct {
 	clock uint64
 }
 
+// Sets returns the number of sets (used to size machine replicas).
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
 type line struct {
 	addr  uint64
 	valid bool
@@ -35,8 +41,11 @@ func New(sets, ways int) *Cache {
 		panic("ptecache: sets must be a positive power of two")
 	}
 	c := &Cache{sets: make([][]line, sets), ways: ways, mask: uint64(sets - 1)}
+	// One backing array for all sets: scan workers clone a full machine per
+	// shard, so cache construction cost (and allocation count) matters.
+	backing := make([]line, sets*ways)
 	for i := range c.sets {
-		c.sets[i] = make([]line, ways)
+		c.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
 	}
 	return c
 }

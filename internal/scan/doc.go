@@ -1,0 +1,32 @@
+// Package scan is the sharded, parallel scan engine behind the large
+// virtual-address sweeps (kernel base, module region, Windows 2^18-slot
+// region, user-space fine scan).
+//
+// # Architecture
+//
+// A scan partitions its probe index range [0, n) into fixed-size chunks and
+// fans the chunks out across N worker goroutines through a work-stealing
+// counter. Each worker owns a private probing context (in the simulator: a
+// machine.Machine replica sharing the victim's address spaces copy-on-read,
+// with private TLB/PSC/PTE-line/counter/noise state — see Machine.Clone),
+// so workers never contend on shared mutable state.
+//
+// # Determinism
+//
+// Parallel output is bit-identical to sequential output for a fixed seed,
+// regardless of worker count or scheduling. Two rules make that hold:
+//
+//  1. Per-chunk state reset. Worker.Start is called before each chunk with
+//     a seed derived only from (engine seed, chunk index); the worker
+//     resets its translation caches and reseeds its noise stream, so a
+//     chunk's measurements depend only on the chunk, never on which worker
+//     ran it or what it probed before.
+//  2. Deterministic merge. Workers write results into disjoint index ranges
+//     of the shared output slices; simulated-cycle totals are summed with
+//     commutative integer addition; and the healing pass (re-probe of
+//     isolated verdict flips, the paper's second pass) runs single-threaded
+//     in ascending index order on its own seeded stream after the merge.
+//
+// The per-chunk reset is a simulator-level operation (no attacker time is
+// charged): sharding models a faster host, not a different attack.
+package scan

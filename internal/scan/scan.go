@@ -1,0 +1,190 @@
+package scan
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/paging"
+)
+
+// DefaultChunkPages is the default shard granularity. Large enough that the
+// per-chunk reset cost is amortized over many probes, small enough that a
+// 512-slot kernel scan still splits across workers.
+const DefaultChunkPages = 128
+
+// Sample is one probe outcome.
+type Sample struct {
+	// Cycles is the probe's decision measurement.
+	Cycles float64
+	// Fast is the probe's verdict against the calibrated threshold.
+	Fast bool
+}
+
+// Worker is one shard's probing context. Implementations wrap a calibrated
+// prober on a private machine replica. Workers are used by one goroutine at
+// a time; distinct workers run concurrently.
+type Worker interface {
+	// Start resets the worker for one chunk: translation caches emptied and
+	// the noise stream reseeded from chunkSeed, so the chunk's measurements
+	// are a pure function of (shared victim state, chunkSeed).
+	Start(chunkSeed uint64)
+	// Probe measures one address.
+	Probe(va paging.VirtAddr) Sample
+	// Classify applies the calibrated fast/slow threshold to a reduced
+	// measurement (used when the healing pass merges re-probe minima).
+	Classify(cycles float64) bool
+	// Elapsed returns the simulated cycles consumed since the last Start.
+	Elapsed() uint64
+}
+
+// Factory builds the worker for one shard. It is called sequentially from
+// the scanning goroutine before any worker runs, so implementations may
+// clone machines without locking.
+type Factory func(id int) Worker
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers is the number of concurrent shards. 0 means GOMAXPROCS.
+	Workers int
+	// ChunkPages is the shard granularity in probe indices. 0 means
+	// DefaultChunkPages.
+	ChunkPages int
+	// Seed derives the per-chunk noise seeds. The same Seed yields
+	// bit-identical results at any worker count.
+	Seed uint64
+	// HealSamples is the re-probe count of the healing pass. 0 means 3
+	// (min-of-3, matching the paper's second pass).
+	HealSamples int
+}
+
+// Engine shards scans over a VA range across workers.
+type Engine struct {
+	cfg     Config
+	factory Factory
+}
+
+// New creates an engine. The factory is invoked once per shard at the start
+// of each Scan call.
+func New(cfg Config, factory Factory) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ChunkPages <= 0 {
+		cfg.ChunkPages = DefaultChunkPages
+	}
+	if cfg.HealSamples <= 0 {
+		cfg.HealSamples = 3
+	}
+	return &Engine{cfg: cfg, factory: factory}
+}
+
+// Result is one scan's merged output.
+type Result struct {
+	// Mapped and Cycles hold the per-index verdicts and decision
+	// measurements, index i corresponding to start + i*stride.
+	Mapped []bool
+	Cycles []float64
+	// SimCycles is the total simulated cycle cost of all probes (the
+	// single-attacker probing time; parallelism is host-side only).
+	SimCycles uint64
+	// Chunks, Workers and Healed describe the run shape.
+	Chunks  int
+	Workers int
+	Healed  int
+}
+
+// Scan probes n addresses from start at the given stride and returns the
+// merged, healed result. Output is bit-identical for a fixed Config.Seed
+// regardless of Config.Workers.
+func (e *Engine) Scan(start paging.VirtAddr, n int, stride uint64) Result {
+	res := Result{Mapped: make([]bool, n), Cycles: make([]float64, n)}
+	if n <= 0 {
+		return res
+	}
+	chunk := e.cfg.ChunkPages
+	chunks := (n + chunk - 1) / chunk
+	nw := e.cfg.Workers
+	if nw > chunks {
+		nw = chunks
+	}
+	res.Chunks = chunks
+	res.Workers = nw
+
+	workers := make([]Worker, nw)
+	for i := range workers {
+		workers[i] = e.factory(i)
+	}
+
+	var next atomic.Int64
+	var sim atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(wk Worker) {
+			defer wg.Done()
+			var local uint64
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					break
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				wk.Start(chunkSeed(e.cfg.Seed, uint64(c)))
+				for i := lo; i < hi; i++ {
+					s := wk.Probe(start + paging.VirtAddr(uint64(i)*stride))
+					res.Cycles[i] = s.Cycles
+					res.Mapped[i] = s.Fast
+				}
+				local += wk.Elapsed()
+			}
+			sim.Add(local)
+		}(workers[w])
+	}
+	wg.Wait()
+	res.SimCycles = sim.Load()
+
+	e.heal(&res, start, n, stride, workers[0])
+	return res
+}
+
+// heal re-probes (min-of-HealSamples) every index whose verdict disagrees
+// with both neighbours: interrupt spikes produce isolated false "unmapped"
+// reads that would split a module or image run in two. It runs
+// single-threaded in ascending index order on a chunk-independent seed, so
+// its output depends only on the merged first-pass result.
+func (e *Engine) heal(res *Result, start paging.VirtAddr, n int, stride uint64, w Worker) {
+	w.Start(chunkSeed(e.cfg.Seed, uint64(res.Chunks)+1))
+	for i := 0; i < n; i++ {
+		left := i == 0 || res.Mapped[i-1] != res.Mapped[i]
+		right := i == n-1 || res.Mapped[i+1] != res.Mapped[i]
+		if !(left && right) {
+			continue
+		}
+		va := start + paging.VirtAddr(uint64(i)*stride)
+		best := res.Cycles[i]
+		for s := 0; s < e.cfg.HealSamples; s++ {
+			if pr := w.Probe(va); pr.Cycles < best {
+				best = pr.Cycles
+			}
+		}
+		res.Cycles[i] = best
+		res.Mapped[i] = w.Classify(best)
+		res.Healed++
+	}
+	res.SimCycles += w.Elapsed()
+}
+
+// chunkSeed derives the noise seed of one chunk from the engine seed with a
+// SplitMix64-style finalizer, so chunk streams are statistically
+// independent yet a pure function of (seed, chunk).
+func chunkSeed(seed, chunk uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(chunk+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,180 @@
+package scan
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/paging"
+)
+
+// detWorker is a purely deterministic fake worker: every probe outcome is a
+// function of (va, chunk seed, position in the chunk stream), emulating a
+// reseeded noise source. It also records which goroutine ran it to verify
+// single-goroutine use.
+type detWorker struct {
+	mappedLo, mappedHi paging.VirtAddr
+	seed               uint64
+	n                  uint64
+	elapsed            uint64
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (w *detWorker) Start(chunkSeed uint64) {
+	w.seed = chunkSeed
+	w.n = 0
+	w.elapsed = 0
+}
+
+func (w *detWorker) Probe(va paging.VirtAddr) Sample {
+	w.mu.Lock()
+	w.calls++
+	w.mu.Unlock()
+	w.n++
+	noise := float64(chunkSeed(w.seed, w.n)%7) - 3 // [-3, 3] pseudo-noise
+	mapped := va >= w.mappedLo && va < w.mappedHi
+	cycles := 100.0 + noise
+	if !mapped {
+		cycles = 140.0 + noise
+	}
+	w.elapsed += uint64(cycles)
+	return Sample{Cycles: cycles, Fast: w.Classify(cycles)}
+}
+
+func (w *detWorker) Classify(cycles float64) bool { return cycles < 120 }
+func (w *detWorker) Elapsed() uint64              { return w.elapsed }
+
+func detFactory(lo, hi paging.VirtAddr) Factory {
+	return func(id int) Worker { return &detWorker{mappedLo: lo, mappedHi: hi} }
+}
+
+const testStride = uint64(paging.Page4K)
+
+func runScan(t *testing.T, workers, n int) Result {
+	t.Helper()
+	start := paging.VirtAddr(0x1000000)
+	lo := start + paging.VirtAddr(100*testStride)
+	hi := start + paging.VirtAddr(300*testStride)
+	eng := New(Config{Workers: workers, ChunkPages: 64, Seed: 42}, detFactory(lo, hi))
+	return eng.Scan(start, n, testStride)
+}
+
+// Parallel output must be bit-identical to sequential output for a fixed
+// seed, at any worker count — the engine's core guarantee.
+func TestScanParallelMatchesSequential(t *testing.T) {
+	const n = 1000
+	seq := runScan(t, 1, n)
+	for _, w := range []int{2, 3, 8, 16} {
+		par := runScan(t, w, n)
+		if !reflect.DeepEqual(seq.Mapped, par.Mapped) {
+			t.Fatalf("workers=%d: mapped bitmap differs from sequential", w)
+		}
+		if !reflect.DeepEqual(seq.Cycles, par.Cycles) {
+			t.Fatalf("workers=%d: cycle measurements differ from sequential", w)
+		}
+		if seq.SimCycles != par.SimCycles {
+			t.Fatalf("workers=%d: SimCycles %d != sequential %d", w, par.SimCycles, seq.SimCycles)
+		}
+	}
+}
+
+func TestScanFindsMappedRun(t *testing.T) {
+	res := runScan(t, 4, 1000)
+	for i, m := range res.Mapped {
+		want := i >= 100 && i < 300
+		if m != want {
+			t.Fatalf("index %d: mapped=%v, want %v", i, m, want)
+		}
+	}
+	if res.Chunks != (1000+63)/64 {
+		t.Fatalf("chunks = %d", res.Chunks)
+	}
+}
+
+// healWorker reads a chosen index as slow (an isolated interrupt-spike
+// misread) on the first probe of that address only; re-probes are fast.
+type healWorker struct {
+	detWorker
+	flipVA paging.VirtAddr
+	probed map[paging.VirtAddr]int
+}
+
+func (w *healWorker) Probe(va paging.VirtAddr) Sample {
+	s := w.detWorker.Probe(va)
+	w.probed[va]++
+	if va == w.flipVA && w.probed[va] == 1 {
+		s.Cycles = 150
+		s.Fast = false
+	}
+	return s
+}
+
+func TestScanHealsIsolatedMisread(t *testing.T) {
+	start := paging.VirtAddr(0x1000000)
+	lo := start
+	hi := start + paging.VirtAddr(500*testStride)
+	flip := start + paging.VirtAddr(250*testStride)
+	probed := make(map[paging.VirtAddr]int)
+	eng := New(Config{Workers: 1, ChunkPages: 64, Seed: 7}, func(id int) Worker {
+		return &healWorker{detWorker: detWorker{mappedLo: lo, mappedHi: hi}, flipVA: flip, probed: probed}
+	})
+	res := eng.Scan(start, 500, testStride)
+	if !res.Mapped[250] {
+		t.Fatal("isolated misread not healed")
+	}
+	if res.Healed == 0 {
+		t.Fatal("healing pass did not run")
+	}
+	if probed[flip] < 4 {
+		t.Fatalf("flip index probed %d times, want scan + 3 heal probes", probed[flip])
+	}
+}
+
+func TestScanSmallAndEmptyRanges(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 63, 64, 65} {
+		res := runScan(t, 8, n)
+		if len(res.Mapped) != n || len(res.Cycles) != n {
+			t.Fatalf("n=%d: result length %d/%d", n, len(res.Mapped), len(res.Cycles))
+		}
+		if n > 0 && res.Workers > res.Chunks {
+			t.Fatalf("n=%d: %d workers for %d chunks", n, res.Workers, res.Chunks)
+		}
+	}
+}
+
+func TestChunkSeedDistinct(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for c := uint64(0); c < 10000; c++ {
+		s := chunkSeed(99, c)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("chunk seeds collide: chunks %d and %d", prev, c)
+		}
+		seen[s] = c
+	}
+}
+
+func TestScanWorkerCountsExercised(t *testing.T) {
+	// Smoke the goroutine fan-out shapes, including workers > chunks.
+	for _, w := range []int{1, 2, 5, 32} {
+		res := runScan(t, w, 320) // 5 chunks of 64
+		want := w
+		if want > 5 {
+			want = 5
+		}
+		if res.Workers != want {
+			t.Fatalf("workers=%d: engine used %d, want %d", w, res.Workers, want)
+		}
+	}
+}
+
+func ExampleEngine_Scan() {
+	start := paging.VirtAddr(0x1000000)
+	eng := New(Config{Workers: 4, ChunkPages: 64, Seed: 1},
+		detFactory(start+paging.VirtAddr(2*testStride), start+paging.VirtAddr(6*testStride)))
+	res := eng.Scan(start, 8, testStride)
+	fmt.Println(res.Mapped)
+	// Output: [false false true true true true false false]
+}

@@ -57,8 +57,11 @@ type setAssoc struct {
 
 func newSetAssoc(cfg Config) *setAssoc {
 	s := &setAssoc{cfg: cfg, sets: make([][]Entry, cfg.Sets)}
+	// One backing array for all sets: the scan engine clones a machine (and
+	// therefore several of these caches) per worker shard.
+	backing := make([]Entry, cfg.Sets*cfg.Ways)
 	for i := range s.sets {
-		s.sets[i] = make([]Entry, cfg.Ways)
+		s.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	return s
 }
@@ -179,6 +182,9 @@ func DefaultTLBConfig() TLBConfig {
 func NewTLB(cfg TLBConfig) *TLB {
 	return &TLB{l1: newSetAssoc(cfg.L1), l2: newSetAssoc(cfg.L2), cfg: cfg}
 }
+
+// Config returns the TLB's configuration (used to size machine replicas).
+func (t *TLB) Config() TLBConfig { return t.cfg }
 
 // LookupResult describes where a translation was found.
 type LookupResult int

@@ -1,0 +1,37 @@
+#!/bin/sh
+# bench.sh [pattern] — run the benchmark suite and append structured results
+# to BENCH_scan.json (one JSON object per run, newline-delimited) so the
+# performance trajectory is tracked across PRs.
+#
+# Pattern defaults to the scan-engine benchmarks; pass '.' for the full
+# suite (minutes).
+set -eu
+
+pattern="${1:-BenchmarkScan|BenchmarkExecMasked|BenchmarkProbeMapped}"
+out="BENCH_scan.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench="$pattern" -benchmem -run='^$' . | tee "$raw"
+
+# Parse `BenchmarkName  N  123 ns/op  [value unit]...` lines into JSON.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v pattern="$pattern" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        gsub(/[^A-Za-z0-9_\/%.-]/, "_", unit)
+        if (metrics != "") metrics = metrics ","
+        metrics = metrics "\"" unit "\":" val
+    }
+    if (n > 0) benches = benches ","
+    benches = benches sprintf("{\"name\":\"%s\",\"iterations\":%s,%s}", name, iters, metrics)
+    n++
+}
+END {
+    printf "{\"date\":\"%s\",\"pattern\":\"%s\",\"benchmarks\":[%s]}\n", date, pattern, benches
+}' "$raw" >> "$out"
+
+echo "appended $(grep -c '^Benchmark' "$raw" || true) benchmark results to $out"
