@@ -1,15 +1,17 @@
 # Build / verify / benchmark entry points.
 #
-#   make vet     - go vet
-#   make test    - tier-1 (go build ./... && go test ./...)
-#   make bench   - vet + tier-1 + the scan-engine benchmarks; appends the
-#                  parsed results to BENCH_scan.json so the perf trajectory
-#                  is tracked across PRs
+#   make vet       - go vet
+#   make test      - tier-1 (go build ./... && go test ./...)
+#   make test-race - the full suite under the race detector (catches
+#                    replica-state leaks between pooled/concurrent scans)
+#   make bench     - vet + tier-1 + race + the scan-engine benchmarks;
+#                    appends the parsed results to BENCH_scan.json so the
+#                    perf trajectory is tracked across PRs
 #   make bench-all - same, but runs the full benchmark suite (minutes)
 
 GO ?= go
 
-.PHONY: all vet test bench bench-all
+.PHONY: all vet test test-race bench bench-all
 
 all: vet test
 
@@ -20,8 +22,11 @@ test:
 	$(GO) build ./...
 	$(GO) test ./...
 
+test-race:
+	$(GO) test -race ./...
+
 bench: vet test
-	./scripts/bench.sh 'BenchmarkScan|BenchmarkExecMasked|BenchmarkProbeMapped'
+	./scripts/bench.sh 'BenchmarkScan|BenchmarkUserScan|BenchmarkTermSweep|BenchmarkExecMasked|BenchmarkProbeMapped'
 
 bench-all: vet test
 	./scripts/bench.sh '.'

@@ -26,6 +26,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/paging"
 	"repro/internal/uarch"
+	"repro/internal/userspace"
 )
 
 // benchScale keeps the full bench sweep within a few minutes while
@@ -290,7 +291,7 @@ func BenchmarkScan(b *testing.B) {
 			if _, err := linux.Boot(m, linux.Config{Seed: 1}); err != nil {
 				b.Fatal(err)
 			}
-			p, err := core.NewProber(m, core.Options{Workers: workers})
+			p, err := core.NewProber(m, core.Options{Workers: workers, Pool: core.NewScanPool()})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -300,6 +301,70 @@ func BenchmarkScan(b *testing.B) {
 				p.ScanMapped(linux.ModuleRegionBase, pages, paging.Page4K)
 			}
 			b.ReportMetric(float64(pages)*float64(b.N)/b.Elapsed().Seconds(), "probes/s")
+		})
+	}
+}
+
+// BenchmarkUserScan measures the two-pass §IV-F user scan (masked-load
+// pass + masked-store classification pass, both on the sharded engine)
+// over a libc-sized window, with a session pool so steady-state scans
+// reuse their worker replicas. sim_ms is the simulated attacker runtime
+// per scan (the paper's 51 s + 44 s passes are over 2^28 pages; this
+// window is ~0.5 k pages).
+func BenchmarkUserScan(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m := machine.New(uarch.IceLake1065G7(), 900)
+			if _, err := linux.Boot(m, linux.Config{Seed: 900}); err != nil {
+				b.Fatal(err)
+			}
+			proc, err := userspace.Build(m, userspace.Config{Seed: 900, EntropyBits: 10, HideLastRWPage: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.NewProber(m, core.Options{Workers: workers, Pool: core.NewScanPool()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			libc := proc.Libs[0]
+			lo, hi := libc.Base-4*paging.Page4K, libc.End()+8*paging.Page4K
+			pages := int(uint64(hi-lo) >> 12)
+			b.SetBytes(int64(pages))
+			b.ResetTimer()
+			var simCycles uint64
+			for i := 0; i < b.N; i++ {
+				res := core.UserScan(p, lo, hi)
+				simCycles += res.TotalCycles
+			}
+			b.ReportMetric(m.Preset.CyclesToSeconds(simCycles/uint64(b.N))*1e3, "sim_ms")
+			b.ReportMetric(float64(pages)*float64(b.N)/b.Elapsed().Seconds(), "probes/s")
+		})
+	}
+}
+
+// BenchmarkTermSweep measures the AMD walk-termination-level sweep (P3)
+// over the 512 kernel text slots — the sweep behind Table I's Zen 3 rows —
+// on the sharded engine with a session pool.
+func BenchmarkTermSweep(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m := machine.New(uarch.Zen3_5600X(), 300)
+			if _, err := linux.Boot(m, linux.Config{Seed: 300}); err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.NewProber(m, core.Options{Workers: workers, Pool: core.NewScanPool()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(linux.TextSlots))
+			b.ResetTimer()
+			t0 := m.RDTSC()
+			for i := 0; i < b.N; i++ {
+				p.ScanTermLevel(linux.TextRegionBase, linux.TextSlots, paging.Page2M,
+					core.AMDTermSamples, p.PTTermThreshold())
+			}
+			b.ReportMetric(m.Preset.CyclesToSeconds((m.RDTSC()-t0)/uint64(b.N))*1e3, "sim_ms")
+			b.ReportMetric(float64(linux.TextSlots)*float64(b.N)/b.Elapsed().Seconds(), "probes/s")
 		})
 	}
 }

@@ -84,13 +84,18 @@ func main() {
 }
 
 // scanWorkers is the -workers flag value: worker replicas for the sharded
-// scan engine (0 keeps the sequential path; negative means all CPUs,
-// normalized by the prober options).
+// scan engine (0 runs the engine inline, sequentially; negative means all
+// CPUs, normalized by the prober options).
 var scanWorkers int
+
+// scanPool is the session's worker pool: constructed once per CLI run, so
+// every scan an attack performs reuses the same machine replicas instead
+// of re-cloning them (output is bit-identical either way).
+var scanPool = core.NewScanPool()
 
 // proberOptions returns the prober configuration the CLI attacks share.
 func proberOptions() core.Options {
-	return core.Options{Workers: scanWorkers}
+	return core.Options{Workers: scanWorkers, Pool: scanPool}
 }
 
 func fail(format string, args ...any) {

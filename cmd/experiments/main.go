@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -39,6 +40,9 @@ func main() {
 		sc.Seed = *seed
 	}
 	sc.Workers = *workers
+	// One worker pool for the whole run: every experiment's scans share the
+	// same machine replicas (results are bit-identical to fresh workers).
+	sc.Pool = core.NewScanPool()
 
 	runners := []struct {
 		id  string

@@ -51,8 +51,10 @@ func EvaluateKernelBase(preset *uarch.Preset, n int, seed uint64) (TrialReport, 
 }
 
 // EvaluateKernelBaseOpt is EvaluateKernelBase with explicit prober options
-// (notably Options.Workers, which routes the slot scan through the sharded
-// parallel engine).
+// (notably Options.Workers, the slot scan's engine parallelism, and
+// Options.Pool: each trial boots a fresh victim, but a shared pool rebinds
+// the same worker replicas to it, so the clone cost is paid once per
+// session instead of once per trial).
 func EvaluateKernelBaseOpt(preset *uarch.Preset, n int, seed uint64, opt Options) (TrialReport, error) {
 	rep := TrialReport{CPU: preset.Name, Target: "Base", Trials: n}
 	var probeSum, totalSum float64

@@ -81,7 +81,7 @@ func (KernelBaseResult) calibrationCycles(p *Prober) uint64 {
 // under Options.Workers. Note this includes ScanMapped's min-of-3 healing
 // re-probe of isolated verdict flips (at any worker setting), which the
 // pre-engine slot loop did not have: same-seed Samples/ProbeCycles differ
-// slightly from earlier revisions, in exchange for spike robustness.
+// slightly from pre-engine revisions, in exchange for spike robustness.
 func kernelBaseIntel(p *Prober) KernelBaseResult {
 	var res KernelBaseResult
 	probeStart := p.M.RDTSC()
@@ -102,33 +102,39 @@ func kernelBaseIntel(p *Prober) KernelBaseResult {
 	return res
 }
 
+// PTTermThreshold returns the walk-termination decision threshold of the
+// AMD attack: a PT-terminating walk reads one more paging structure than a
+// PD-terminating one, and with evicted PTE lines that is one full memory
+// access (~PTELineMiss cycles) — a robust margin.
+func (p *Prober) PTTermThreshold() float64 {
+	preset := p.M.Preset
+	return preset.MaskedLoadBase + preset.AssistLoad + preset.FenceOverhead +
+		(preset.Walk.PD+preset.Walk.PT)/2 + 3.5*preset.PTELineMiss
+}
+
+// AMDTermSamples is the per-slot sample count of the AMD term-level sweep.
+// The level signal (one extra cold PTE line) is subtler than the Intel
+// TLB-hit signal, so each slot is sampled 16× with targeted eviction and
+// reduced by minimum — this is what makes the AMD probing ~1.9 ms instead
+// of ~67 µs (Table I).
+const AMDTermSamples = 16
+
 // kernelBaseAMD mounts the §IV-B AMD attack: classify every slot by walk
 // termination (a slot whose boundary walk reaches a PT is "4 KiB-
 // structured"), then align the observed 4 KiB-slot pattern against the
-// build-constant offsets of the five 4 KiB pages.
+// build-constant offsets of the five 4 KiB pages. The slot sweep runs on
+// the sharded engine via ScanTermLevel, so it parallelizes under
+// Options.Workers like every other large sweep.
 func kernelBaseAMD(p *Prober) (KernelBaseResult, error) {
 	var res KernelBaseResult
 	probeStart := p.M.RDTSC()
 
-	// The PT-terminating walk reads one more paging structure than a
-	// PD-terminating one; with evicted PTE lines that is one full memory
-	// access (~PTELineMiss cycles) — a robust margin.
-	preset := p.M.Preset
-	ptThreshold := preset.MaskedLoadBase + preset.AssistLoad + preset.FenceOverhead +
-		(preset.Walk.PD+preset.Walk.PT)/2 + 3.5*preset.PTELineMiss
-
-	// The level signal (one extra cold PTE line) is subtler than the
-	// Intel TLB-hit signal, so each slot is sampled 16× with targeted
-	// eviction and reduced by minimum — this is what makes the AMD
-	// probing ~1.9 ms instead of ~67 µs (Table I).
-	const amdSamples = 16
-	fourKSlots := make([]bool, linux.TextSlots)
+	fourKSlots, cycles := p.ScanTermLevel(linux.TextRegionBase, linux.TextSlots,
+		paging.Page2M, AMDTermSamples, p.PTTermThreshold())
+	res.Samples = make([]OffsetSample, linux.TextSlots)
 	for slot := 0; slot < linux.TextSlots; slot++ {
 		va := linux.TextRegionBase + paging.VirtAddr(uint64(slot)<<21)
-		tp := p.ProbeTermLevel(va, amdSamples)
-		isPT := tp.Cycles > ptThreshold
-		fourKSlots[slot] = isPT
-		res.Samples = append(res.Samples, OffsetSample{Slot: slot, VA: va, Cycles: tp.Cycles, Mapped: isPT})
+		res.Samples[slot] = OffsetSample{Slot: slot, VA: va, Cycles: cycles[slot], Mapped: fourKSlots[slot]}
 	}
 	res.ProbeCycles = p.M.RDTSC() - probeStart
 

@@ -53,16 +53,23 @@ type Options struct {
 	Margin float64
 	// ExtraJitterSigma adds timer jitter (SGX counting-thread fallback).
 	ExtraJitterSigma float64
-	// Workers selects the scan path of ScanMapped. 0 keeps the legacy
-	// in-place sequential loop on the prober's own machine; any value >= 1
-	// routes the scan through the sharded engine (internal/scan) with that
-	// many worker machine replicas; negative means "all CPUs"
-	// (normalized to runtime.NumCPU by withDefaults). Engine output is
-	// bit-identical across worker counts for a fixed machine seed, so
-	// Workers=1 is the deterministic sequential baseline of Workers=N.
+	// Workers sets the host parallelism of the large VA sweeps (ScanMapped,
+	// the §IV-F store-classification pass, the AMD term-level sweep), which
+	// all run on the sharded engine (internal/scan). 0 runs the engine
+	// inline on the prober's own machine (sequential, no replicas); any
+	// value >= 1 fans chunks out across that many worker machine replicas;
+	// negative means "all CPUs" (normalized to runtime.NumCPU by
+	// withDefaults). Output is bit-identical at every setting for a fixed
+	// machine seed — worker count buys host wall-clock, never different
+	// results.
 	Workers int
 	// ScanChunkPages overrides the engine shard granularity (0 = default).
 	ScanChunkPages int
+	// Pool, when set, is the session-persistent pool the engine draws its
+	// worker machine replicas from instead of cloning fresh ones per scan.
+	// Construct one ScanPool per session and share it across probers (and
+	// victims); pooled output stays bit-identical to fresh-worker runs.
+	Pool *ScanPool
 }
 
 func (o Options) withDefaults() Options {
@@ -352,44 +359,14 @@ func (p *Prober) ProbeTermLevel(va paging.VirtAddr, samples int) TermProbe {
 // "unmapped" reads that would split a module or image run in two. The
 // second pass is what the paper's 99.7–99.8 % module accuracy implies.
 //
-// With Opt.Workers >= 1 the sweep runs on the sharded parallel engine
-// (internal/scan) across that many machine replicas; the merged output is
-// bit-identical for any worker count at a fixed machine seed. Workers == 0
-// keeps the legacy sequential loop on the prober's own machine.
+// The sweep always runs on the sharded engine (internal/scan): Workers >= 1
+// fans chunks out across that many machine replicas, Workers == 0 runs the
+// identical engine semantics inline on the prober's own machine. The merged
+// output is bit-identical at every worker setting for a fixed machine seed
+// (see runSweep).
 func (p *Prober) ScanMapped(start paging.VirtAddr, n int, stride uint64) ([]bool, []float64) {
-	if p.Opt.Workers >= 1 {
-		return p.scanMappedEngine(start, n, stride)
-	}
-	mapped := make([]bool, n)
-	cycles := make([]float64, n)
-	for i := 0; i < n; i++ {
-		pr := p.ProbeMapped(start + paging.VirtAddr(uint64(i)*stride))
-		mapped[i] = pr.Fast
-		cycles[i] = pr.Cycles
-	}
-	// Healing pass. The engine path implements the same rule in
-	// scan.Engine.heal, but on reset translation state with a dedicated
-	// noise stream (required for order-independence); this warm-state,
-	// continuous-stream variant is kept verbatim as the seed-exact
-	// sequential behaviour. Keep the two neighbour rules in sync.
-	for i := 0; i < n; i++ {
-		left := i == 0 || mapped[i-1] != mapped[i]
-		right := i == n-1 || mapped[i+1] != mapped[i]
-		if !(left && right) {
-			continue
-		}
-		va := start + paging.VirtAddr(uint64(i)*stride)
-		best := cycles[i]
-		for s := 0; s < 3; s++ {
-			pr := p.ProbeMapped(va)
-			if pr.Cycles < best {
-				best = pr.Cycles
-			}
-		}
-		cycles[i] = best
-		mapped[i] = p.Threshold.Classify(best)
-	}
-	return mapped, cycles
+	res := p.scanMapped(start, n, stride)
+	return res.Verdicts, res.Cycles
 }
 
 // ProbeTLB runs the TLB attack (P4) at va: a single timed masked load.

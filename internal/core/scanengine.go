@@ -6,6 +6,48 @@ import (
 	"repro/internal/scan"
 )
 
+// ScanPool is a session-persistent pool of worker machine replicas for the
+// sharded scan engine. Construct one per session (CLI run, experiment
+// sweep, evaluation harness) and share it through Options.Pool: the first
+// scan clones its workers, every later scan — even against a different
+// victim machine — rebinds and reuses them, amortizing the ~170-allocation
+// clone cost across the whole run. Pooled scans stay bit-identical to
+// fresh-worker and sequential runs because every worker is noise-reseeded
+// and translation-reset per chunk regardless of its history.
+//
+// Concurrent scans may share one pool (each replica is handed to exactly
+// one scan at a time), but a single Prober must not run two scans
+// concurrently.
+type ScanPool struct {
+	pool scan.Pool[*machine.Machine]
+}
+
+// NewScanPool creates an empty pool.
+func NewScanPool() *ScanPool { return &ScanPool{} }
+
+// Replicas returns how many worker machines the pool has ever cloned
+// (steady-state scanning must not grow it).
+func (sp *ScanPool) Replicas() int { return sp.pool.Made() }
+
+// get returns a machine replica bound to parent's current state.
+func (sp *ScanPool) get(parent *machine.Machine, seed uint64) *machine.Machine {
+	m, reused := sp.pool.Get(func(ord int) *machine.Machine {
+		return parent.Clone(seed + uint64(ord))
+	})
+	if reused {
+		m.Rebind(parent)
+	}
+	return m
+}
+
+// put parks a replica in the pool after a scan, unbound from the victim so
+// an idle pool does not pin a discarded machine's page tables and memory
+// (the next get's Rebind restores the references).
+func (sp *ScanPool) put(m *machine.Machine) {
+	m.Unbind()
+	sp.pool.Put(m)
+}
+
 // CloneTo creates a prober on a machine replica, inheriting this prober's
 // calibrated thresholds and options without recalibrating. Calibration maps
 // and unmaps scratch pages — a mutation the shared address space of a
@@ -24,54 +66,184 @@ func (p *Prober) CloneTo(m *machine.Machine) *Prober {
 	}
 }
 
-// scanWorker adapts a cloned Prober to scan.Worker.
-type scanWorker struct {
+// acquireReplica returns a prober on a worker machine replica: drawn from
+// the session pool when Options.Pool is set, freshly cloned otherwise.
+func (p *Prober) acquireReplica(seed uint64, id int) *Prober {
+	if pool := p.Opt.Pool; pool != nil {
+		return p.CloneTo(pool.get(p.M, seed))
+	}
+	return p.CloneTo(p.M.Clone(seed + uint64(id)))
+}
+
+// releaseReplicas folds the workers' state back into the parent after a
+// scan — faults and performance counters, so RDTSC/PMC-based accounting in
+// the attack drivers is unchanged — and returns pooled machines to the
+// session pool for the next scan.
+func (p *Prober) releaseReplicas(replicas []*Prober) {
+	for _, rp := range replicas {
+		p.faults += rp.faults
+		p.M.Counters.Merge(rp.M.Counters)
+		if pool := p.Opt.Pool; pool != nil {
+			rp.M.Counters.Reset()
+			pool.put(rp.M)
+		}
+	}
+}
+
+// workerBase implements the scan.Worker chunk lifecycle shared by every
+// sweep type: per-chunk noise reseed + translation reset (the determinism
+// contract) and simulated-cycle accounting.
+type workerBase struct {
 	p  *Prober
 	t0 uint64
 }
 
-func (w *scanWorker) Start(chunkSeed uint64) {
+func (w *workerBase) Start(chunkSeed uint64) {
 	w.p.M.ReseedNoise(chunkSeed)
 	w.p.M.ResetTranslationState()
 	w.t0 = w.p.M.RDTSC()
 }
 
-func (w *scanWorker) Probe(va paging.VirtAddr) scan.Sample {
+func (w *workerBase) Elapsed() uint64 { return w.p.M.RDTSC() - w.t0 }
+
+// mappedWorker probes with the double-execution page-table attack (P2):
+// verdict = "translation resolved fast" (mapped).
+type mappedWorker struct{ workerBase }
+
+func (w *mappedWorker) Probe(va paging.VirtAddr) scan.Sample[bool] {
 	pr := w.p.ProbeMapped(va)
-	return scan.Sample{Cycles: pr.Cycles, Fast: pr.Fast}
+	return scan.Sample[bool]{Cycles: pr.Cycles, Verdict: pr.Fast}
 }
 
-func (w *scanWorker) Classify(cycles float64) bool {
+func (w *mappedWorker) Classify(cycles float64) bool {
 	return w.p.Threshold.Classify(cycles)
 }
 
-func (w *scanWorker) Elapsed() uint64 { return w.p.M.RDTSC() - w.t0 }
+// storeWorker probes with the masked-store attack (P5/P6): verdict =
+// writable vs read-only, for pages the load pass already read as mapped.
+type storeWorker struct{ workerBase }
 
-// scanMappedEngine runs ScanMapped on the sharded engine: one machine
-// replica per worker, chunk-deterministic noise, and a deterministic merge
-// plus healing pass (see internal/scan). The workers' simulated probing
-// cycles, performance counters and fault counts are folded back into the
-// prober's machine afterwards, so RDTSC-based runtime accounting in the
-// attack drivers is unchanged: parallelism buys host wall-clock, not
-// simulated attacker time.
-func (p *Prober) scanMappedEngine(start paging.VirtAddr, n int, stride uint64) ([]bool, []float64) {
+func (w *storeWorker) Probe(va paging.VirtAddr) scan.Sample[PermClass] {
+	pr := w.p.ProbeMappedStore(va)
+	return scan.Sample[PermClass]{Cycles: pr.Cycles, Verdict: storeClass(pr.Fast)}
+}
+
+func (w *storeWorker) Classify(cycles float64) PermClass {
+	return storeClass(w.p.StoreThreshold.Classify(cycles))
+}
+
+func storeClass(fast bool) PermClass {
+	if fast {
+		return PermWritable
+	}
+	return PermReadable
+}
+
+// termWorker probes with the walk-termination-level attack (P3): verdict =
+// "the boundary walk reaches a PT" (a 4 KiB-structured slot).
+type termWorker struct {
+	workerBase
+	samples   int
+	threshold float64
+}
+
+func (w *termWorker) Probe(va paging.VirtAddr) scan.Sample[bool] {
+	tp := w.p.ProbeTermLevel(va, w.samples)
+	return scan.Sample[bool]{Cycles: tp.Cycles, Verdict: tp.Cycles > w.threshold}
+}
+
+func (w *termWorker) Classify(cycles float64) bool { return cycles > w.threshold }
+
+// runSweep is the one scan path every large VA sweep takes. It shards the
+// range across Options.Workers machine replicas (pooled or fresh), merges
+// deterministically, and folds the workers' simulated probing cycles,
+// performance counters and fault counts back into the prober's machine, so
+// RDTSC-based runtime accounting in the attack drivers is unchanged:
+// parallelism buys host wall-clock, not simulated attacker time.
+//
+// Workers == 0 runs the identical engine semantics inline: a single worker
+// that *is* the prober's own machine (no clone, no goroutine fan-out
+// beyond the engine's one). Because a worker's chunk output is a pure
+// function of (victim state, chunk seed) — never of which machine ran it —
+// the inline, replicated, and pooled paths produce bit-identical results
+// at every worker count for a fixed machine seed.
+func runSweep[V comparable](p *Prober, start paging.VirtAddr, n int, stride uint64,
+	heal int, skip func(int) bool, skipV V,
+	wrap func(*Prober) scan.Worker[V]) scan.Result[V] {
 	p.scanEpoch++
 	seed := p.M.Seed() ^ (p.scanEpoch * 0x9e3779b97f4a7c15)
-	var workers []*scanWorker
-	eng := scan.New(scan.Config{
-		Workers:    p.Opt.Workers,
-		ChunkPages: p.Opt.ScanChunkPages,
-		Seed:       seed,
-	}, func(id int) scan.Worker {
-		w := &scanWorker{p: p.CloneTo(p.M.Clone(seed + uint64(id)))}
-		workers = append(workers, w)
-		return w
-	})
-	res := eng.Scan(start, n, stride)
-	for _, w := range workers {
-		p.faults += w.p.faults
-		p.M.Counters.Merge(w.p.M.Counters)
+	inline := p.Opt.Workers == 0
+	nw := p.Opt.Workers
+	if inline {
+		nw = 1
 	}
-	p.M.AdvanceCycles(res.SimCycles)
-	return res.Mapped, res.Cycles
+	var replicas []*Prober
+	eng := scan.New(scan.Config{
+		Workers:     nw,
+		ChunkPages:  p.Opt.ScanChunkPages,
+		Seed:        seed,
+		HealSamples: heal,
+	}, func(id int) scan.Worker[V] {
+		if inline {
+			return wrap(p)
+		}
+		rp := p.acquireReplica(seed, id)
+		replicas = append(replicas, rp)
+		return wrap(rp)
+	})
+	if skip != nil {
+		eng.SetSkip(skip, skipV)
+	}
+	res := eng.Scan(start, n, stride)
+	p.releaseReplicas(replicas)
+	if !inline {
+		// Inline probing advanced the prober's clock directly; replica
+		// probing happened on private clocks and is charged here.
+		p.M.AdvanceCycles(res.SimCycles)
+	}
+	// Leave the parent in the same canonical post-sweep state on every
+	// path: the inline run reseeded the parent's noise and flushed its
+	// translation caches per chunk, the replica run left them untouched —
+	// either way the machine now gets a sweep-derived noise stream and
+	// empty translation state, so *later* direct probes (the TLB attack,
+	// the KPTI entry-point search) are also bit-identical across worker
+	// settings, not just the sweep output itself. Architecturally this is
+	// the honest state anyway: a multi-thousand-probe sweep displaces
+	// every translation structure.
+	p.M.ReseedNoise(scan.StreamSeed(seed, scan.PostSweepStream))
+	p.M.ResetTranslationState()
+	return res
+}
+
+// scanMapped runs the P2 mapped/unmapped sweep on the engine.
+func (p *Prober) scanMapped(start paging.VirtAddr, n int, stride uint64) scan.Result[bool] {
+	return runSweep(p, start, n, stride, 0, nil, false,
+		func(rp *Prober) scan.Worker[bool] { return &mappedWorker{workerBase{p: rp}} })
+}
+
+// scanStoreClasses runs the §IV-F store-classification pass on the engine:
+// every page the load pass read as mapped is probed with the masked-store
+// attack and classified writable vs read-only (including the min-of-3
+// healing re-probe of isolated verdict flips); unmapped pages are skipped
+// outright — no probe, no noise draw — and come back PermUnmapped.
+func (p *Prober) scanStoreClasses(start paging.VirtAddr, mapped []bool) []PermClass {
+	res := runSweep(p, start, len(mapped), paging.Page4K, 0,
+		func(i int) bool { return !mapped[i] }, PermUnmapped,
+		func(rp *Prober) scan.Worker[PermClass] { return &storeWorker{workerBase{p: rp}} })
+	return res.Verdicts
+}
+
+// ScanTermLevel runs the walk-termination-level sweep (P3) over n slots at
+// the given stride: each slot is sampled `samples` times with targeted
+// eviction and reduced by minimum, and the verdict reports whether the
+// slot's boundary walk reads a PT (4 KiB-structured region). Healing is
+// disabled — the AMD kernel-base signal *is* a handful of isolated
+// PT-terminating slots, exactly what a neighbour-disagreement heal would
+// re-probe away.
+func (p *Prober) ScanTermLevel(start paging.VirtAddr, n int, stride uint64, samples int, threshold float64) ([]bool, []float64) {
+	res := runSweep(p, start, n, stride, -1, nil, false,
+		func(rp *Prober) scan.Worker[bool] {
+			return &termWorker{workerBase: workerBase{p: rp}, samples: samples, threshold: threshold}
+		})
+	return res.Verdicts, res.Cycles
 }

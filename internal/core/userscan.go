@@ -29,7 +29,10 @@ type UserScanResult struct {
 // UserScan probes [start, end) at 4 KiB steps with the two-pass §IV-F
 // methodology: a masked-load pass filters out the unmapped/--- pages, then
 // a masked-store pass classifies the mapped pages into writable vs
-// read-only. Adjacent same-class pages merge into regions.
+// read-only. Adjacent same-class pages merge into regions. Both passes run
+// on the sharded scan engine (see runSweep), so the paper's 44 s store
+// pass parallelizes exactly like the load pass under Options.Workers —
+// with bit-identical output at any worker setting.
 func UserScan(p *Prober, start, end paging.VirtAddr) UserScanResult {
 	t0 := p.M.RDTSC()
 	var res UserScanResult
@@ -39,25 +42,23 @@ func UserScan(p *Prober, start, end paging.VirtAddr) UserScanResult {
 	t1 := p.M.RDTSC()
 	res.LoadCycles = t1 - t0
 
-	classes := make([]PermClass, pages)
-	for i := 0; i < pages; i++ {
-		if !mapped[i] {
-			classes[i] = PermUnmapped
-			continue
-		}
-		pr := p.ProbeMappedStore(start + paging.VirtAddr(uint64(i)<<12))
-		if pr.Fast {
-			classes[i] = PermWritable
-		} else {
-			classes[i] = PermReadable
-		}
-	}
+	classes := p.scanStoreClasses(start, mapped)
 	t2 := p.M.RDTSC()
 	res.StoreCycles = t2 - t1
 	res.TotalCycles = t2 - t0
 
-	// Merge into maximal same-class regions, dropping unmapped spans.
-	i := 0
+	res.Regions = mergeRegions(start, classes)
+	return res
+}
+
+// mergeRegions merges the per-page permission classes into maximal
+// same-class regions, dropping unmapped spans (the Figure 7 output rows).
+// Every produced region is class-homogeneous, non-empty, non-overlapping,
+// in ascending order, and maximal: two adjacent regions either differ in
+// class or are separated by at least one unmapped page.
+func mergeRegions(start paging.VirtAddr, classes []PermClass) []UserRegion {
+	var regions []UserRegion
+	i, pages := 0, len(classes)
 	for i < pages {
 		if classes[i] == PermUnmapped {
 			i++
@@ -67,14 +68,14 @@ func UserScan(p *Prober, start, end paging.VirtAddr) UserScanResult {
 		for j < pages && classes[j] == classes[i] {
 			j++
 		}
-		res.Regions = append(res.Regions, UserRegion{
+		regions = append(regions, UserRegion{
 			Start: start + paging.VirtAddr(uint64(i)<<12),
 			End:   start + paging.VirtAddr(uint64(j)<<12),
 			Class: classes[i],
 		})
 		i = j
 	}
-	return res
+	return regions
 }
 
 // ScanUntilMapped probes forward from start at 4 KiB steps until the first

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/paging"
+)
+
+// FuzzMergeRegions drives the §IV-F region-merge loop with arbitrary
+// per-page permission-class sequences and checks the invariants every
+// consumer (signature matching, Figure 7 rendering) relies on:
+//
+//   - regions are class-homogeneous and never classified unmapped,
+//   - regions are non-empty, sorted and non-overlapping,
+//   - regions are maximal: adjacent regions either differ in class or are
+//     separated by at least one unmapped page,
+//   - coverage is exact: every mapped page lies in exactly one region of
+//     its own class, every unmapped page in none.
+func FuzzMergeRegions(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 1, 2, 2, 0, 1})
+	f.Add([]byte{2, 0, 2, 0, 2})
+	f.Add([]byte{1, 2, 1, 2, 1, 2})
+	f.Add([]byte{0, 0, 1, 1, 1, 0, 2, 2, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			t.Skip()
+		}
+		const start = paging.VirtAddr(0x555500000000)
+		classes := make([]PermClass, len(data))
+		for i, b := range data {
+			classes[i] = PermClass(b % 3) // PermUnmapped / PermReadable / PermWritable
+		}
+
+		regions := mergeRegions(start, classes)
+
+		covered := make([]int, len(classes))
+		var prev *UserRegion
+		for k := range regions {
+			r := regions[k]
+			if r.Class == PermUnmapped {
+				t.Fatalf("region %d classified unmapped: %+v", k, r)
+			}
+			if r.End <= r.Start {
+				t.Fatalf("region %d empty or inverted: %+v", k, r)
+			}
+			if (uint64(r.Start)|uint64(r.End))&(paging.Page4K-1) != 0 {
+				t.Fatalf("region %d not page-aligned: %+v", k, r)
+			}
+			if prev != nil {
+				if r.Start < prev.End {
+					t.Fatalf("regions %d/%d overlap or are unsorted: %+v then %+v", k-1, k, *prev, r)
+				}
+				if r.Start == prev.End && r.Class == prev.Class {
+					t.Fatalf("regions %d/%d not maximal: same class %v, directly adjacent", k-1, k, r.Class)
+				}
+			}
+			lo := int(uint64(r.Start-start) >> 12)
+			hi := int(uint64(r.End-start) >> 12)
+			if lo < 0 || hi > len(classes) {
+				t.Fatalf("region %d outside the scanned range: %+v", k, r)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i]++
+				if classes[i] != r.Class {
+					t.Fatalf("region %d not homogeneous: page %d is %v, region %v", k, i, classes[i], r.Class)
+				}
+			}
+			prev = &regions[k]
+		}
+		for i, c := range classes {
+			want := 1
+			if c == PermUnmapped {
+				want = 0
+			}
+			if covered[i] != want {
+				t.Fatalf("page %d (%v) covered %d times, want %d", i, c, covered[i], want)
+			}
+		}
+	})
+}

@@ -26,7 +26,7 @@ func Fig6BehaviorSpy(sc Scale) Report {
 	if err != nil {
 		return Report{ID: "Fig. 6", Measured: err.Error()}
 	}
-	p, err := core.NewProber(m, core.Options{Workers: sc.Workers})
+	p, err := core.NewProber(m, sc.proberOptions())
 	if err != nil {
 		return Report{ID: "Fig. 6", Measured: err.Error()}
 	}
@@ -102,7 +102,7 @@ func Fig7SGXFineGrained(sc Scale) Report {
 		return Report{ID: "Fig. 7", Measured: err.Error()}
 	}
 	defer enc.Exit()
-	p, err := core.NewProber(m, core.Options{Workers: sc.Workers})
+	p, err := core.NewProber(m, sc.proberOptions())
 	if err != nil {
 		return Report{ID: "Fig. 7", Measured: err.Error()}
 	}
@@ -218,7 +218,7 @@ func Sec4gWindows(sc Scale) Report {
 	if err != nil {
 		return Report{ID: "§IV-G", Measured: err.Error()}
 	}
-	p, err := core.NewProber(m, core.Options{Workers: sc.Workers})
+	p, err := core.NewProber(m, sc.proberOptions())
 	if err != nil {
 		return Report{ID: "§IV-G", Measured: err.Error()}
 	}
@@ -232,7 +232,7 @@ func Sec4gWindows(sc Scale) Report {
 	if err != nil {
 		return Report{ID: "§IV-G", Measured: err.Error()}
 	}
-	p2, err := core.NewProber(m2, core.Options{Workers: sc.Workers})
+	p2, err := core.NewProber(m2, sc.proberOptions())
 	if err != nil {
 		return Report{ID: "§IV-G", Measured: err.Error()}
 	}

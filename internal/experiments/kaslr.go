@@ -21,7 +21,7 @@ func Fig4KernelBaseScan(sc Scale) Report {
 	if err != nil {
 		return Report{ID: "Fig. 4", Measured: err.Error()}
 	}
-	p, err := core.NewProber(m, core.Options{Workers: sc.Workers})
+	p, err := core.NewProber(m, sc.proberOptions())
 	if err != nil {
 		return Report{ID: "Fig. 4", Measured: err.Error()}
 	}
@@ -100,9 +100,9 @@ func Table1(sc Scale) Report {
 		var rep core.TrialReport
 		var err error
 		if r.modules {
-			rep, err = core.EvaluateModulesOpt(r.preset, sc.TrialsModules, sc.Seed, core.Options{Workers: sc.Workers})
+			rep, err = core.EvaluateModulesOpt(r.preset, sc.TrialsModules, sc.Seed, sc.proberOptions())
 		} else {
-			rep, err = core.EvaluateKernelBaseOpt(r.preset, sc.TrialsBase, sc.Seed, core.Options{Workers: sc.Workers})
+			rep, err = core.EvaluateKernelBaseOpt(r.preset, sc.TrialsBase, sc.Seed, sc.proberOptions())
 		}
 		if err != nil {
 			return Report{ID: "Table I", Measured: err.Error()}
@@ -139,7 +139,7 @@ func Fig5ModuleIdent(sc Scale) Report {
 	if err != nil {
 		return Report{ID: "Fig. 5", Measured: err.Error()}
 	}
-	p, err := core.NewProber(m, core.Options{Workers: sc.Workers})
+	p, err := core.NewProber(m, sc.proberOptions())
 	if err != nil {
 		return Report{ID: "Fig. 5", Measured: err.Error()}
 	}
@@ -202,7 +202,7 @@ func Sec4dKPTI(sc Scale) Report {
 	if _, err := linux.Boot(m1, linux.Config{Seed: sc.Seed + 6, KPTI: true, NoKASLR: true}); err != nil {
 		return Report{ID: "§IV-D", Measured: err.Error()}
 	}
-	p1, err := core.NewProber(m1, core.Options{Workers: sc.Workers})
+	p1, err := core.NewProber(m1, sc.proberOptions())
 	if err != nil {
 		return Report{ID: "§IV-D", Measured: err.Error()}
 	}
@@ -218,7 +218,7 @@ func Sec4dKPTI(sc Scale) Report {
 	if err != nil {
 		return Report{ID: "§IV-D", Measured: err.Error()}
 	}
-	p2, err := core.NewProber(m2, core.Options{Workers: sc.Workers})
+	p2, err := core.NewProber(m2, sc.proberOptions())
 	if err != nil {
 		return Report{ID: "§IV-D", Measured: err.Error()}
 	}

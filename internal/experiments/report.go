@@ -12,6 +12,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // Report is one experiment's outcome.
@@ -66,10 +68,20 @@ type Scale struct {
 	// Seed makes every experiment deterministic.
 	Seed uint64
 	// Workers routes the big VA scans through the sharded parallel scan
-	// engine with that many worker replicas (0 keeps the legacy sequential
-	// path). Results are deterministic for a fixed seed at any worker
-	// count; only host wall-clock changes.
+	// engine with that many worker replicas (0 runs the same engine
+	// semantics inline, sequentially). Results are deterministic for a
+	// fixed seed at any worker count; only host wall-clock changes.
 	Workers int
+	// Pool is the session-persistent worker pool shared by every scan in
+	// the run (set once by the caller; nil makes each scan clone fresh
+	// workers). Pooled and fresh runs produce bit-identical results.
+	Pool *core.ScanPool
+}
+
+// proberOptions is the prober configuration every experiment shares: the
+// scan-engine worker count and the session worker pool.
+func (s Scale) proberOptions() core.Options {
+	return core.Options{Workers: s.Workers, Pool: s.Pool}
 }
 
 // DefaultScale is CI-friendly: every experiment finishes in seconds.

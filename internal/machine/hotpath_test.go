@@ -38,6 +38,14 @@ func TestExecMaskedZeroAlloc(t *testing.T) {
 	if n := testing.AllocsPerRun(1000, func() { m.Measure(op) }); n > 0 {
 		t.Errorf("Measure: %v allocs/op, want 0", n)
 	}
+	// So must the AMD term-level probe step: targeted eviction + measure
+	// runs 16× per slot over 512 slots per sweep.
+	if n := testing.AllocsPerRun(1000, func() {
+		m.EvictTranslation(0x7e0000000000)
+		m.Measure(avx.MaskedLoad(0x7e0000000000, avx.ZeroMask))
+	}); n > 0 {
+		t.Errorf("EvictTranslation+Measure: %v allocs/op, want 0", n)
+	}
 }
 
 // Clone shares the victim's address spaces copy-on-read but owns all
@@ -108,6 +116,78 @@ func TestCloneDeterministicMeasurements(t *testing.T) {
 	}
 	if same {
 		t.Fatal("different noise seeds produced identical measurement streams")
+	}
+}
+
+// Rebind must reuse the replica's microarchitectural structures instead of
+// reallocating them — that reuse is the entire point of the persistent
+// scan pool (Clone pays for fresh TLB/PSC/PTE-line sets on every call;
+// a pooled rebind must cost roughly nothing).
+func TestRebindReusesReplicaAllocations(t *testing.T) {
+	m := New(uarch.AlderLake12400F(), 21)
+	if err := m.MapUser(0x7e0000000000, 4*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone(1)
+	cloneAllocs := testing.AllocsPerRun(20, func() { m.Clone(2) })
+	rebindAllocs := testing.AllocsPerRun(20, func() { c.Rebind(m) })
+	t.Logf("allocs: clone %.0f, rebind %.0f", cloneAllocs, rebindAllocs)
+	if rebindAllocs > 2 {
+		t.Errorf("Rebind allocates %.0f, want ~0 (clone costs %.0f)", rebindAllocs, cloneAllocs)
+	}
+	if cloneAllocs < 10 {
+		t.Errorf("Clone allocates only %.0f — alloc-guard baseline looks wrong", cloneAllocs)
+	}
+}
+
+// A rebound replica — even one carrying dirty state from scans against a
+// previous victim — must behave exactly like a fresh clone of the current
+// parent: same mappings visible, same measurement stream under the same
+// noise seed, no counter or write-shadow carry-over.
+func TestRebindMatchesFreshClone(t *testing.T) {
+	m := New(uarch.AlderLake12400F(), 23)
+	if err := m.MapUser(0x7e0000000000, 8*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	used := m.Clone(1)
+	// Dirty the replica: probes warm its TLB, counters and clock.
+	for i := 0; i < 16; i++ {
+		used.Measure(avx.MaskedLoad(0x7e0000000000+paging.VirtAddr(i%8)*paging.Page4K, avx.ZeroMask))
+	}
+	// The parent moves on: new mapping, advanced clock.
+	if err := m.MapUser(0x7e0000010000, 2*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	m.AdvanceCycles(12345)
+
+	used.Rebind(m)
+	fresh := m.Clone(2)
+
+	if used.RDTSC() != fresh.RDTSC() {
+		t.Fatalf("rebound clock %d != fresh clone %d", used.RDTSC(), fresh.RDTSC())
+	}
+	if used.Counters != fresh.Counters {
+		t.Fatal("rebound replica carried counters over")
+	}
+	if !used.UserAS.Translate(0x7e0000010000, nil).Mapped {
+		t.Fatal("rebound replica does not see the parent's new mapping")
+	}
+	stream := func(c *Machine) []float64 {
+		c.ReseedNoise(99)
+		c.ResetTranslationState()
+		var out []float64
+		for i := 0; i < 32; i++ {
+			va := paging.VirtAddr(0x7e0000000000 + uint64(i%8)*paging.Page4K)
+			v, _ := c.Measure(avx.MaskedLoad(va, avx.ZeroMask))
+			out = append(out, v)
+		}
+		return out
+	}
+	a, b := stream(used), stream(fresh)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("measurement %d differs after rebind: %v vs %v", i, a[i], b[i])
+		}
 	}
 }
 

@@ -162,6 +162,50 @@ func (m *Machine) Clone(noiseSeed uint64) *Machine {
 	return c
 }
 
+// Rebind retargets a pooled worker replica at parent's current state so a
+// persistent pool can reuse it across scans — and across victims within a
+// session — without paying Clone's allocation cost again. The replica's
+// TLB, paging-structure and PTE-line caches are flushed and reused in place
+// when their geometry matches the parent's (the common case: one preset per
+// session) and only rebuilt on a geometry change; counters, the write
+// shadow and the clock are reset to the parent's view. The noise stream is
+// left alone: the scan engine reseeds it per chunk before any probe, which
+// is what makes pooled output bit-identical to fresh-worker output.
+func (m *Machine) Rebind(parent *Machine) {
+	m.Preset = parent.Preset
+	m.Alloc = parent.Alloc
+	m.KernelAS = parent.KernelAS
+	m.UserAS = parent.UserAS
+	m.InEnclave = parent.InEnclave
+	m.tsc = parent.tsc
+	if m.TLB.Config() != parent.TLB.Config() {
+		m.TLB = tlb.NewTLB(parent.TLB.Config())
+	} else {
+		m.TLB.Flush(false)
+	}
+	m.PSC.Flush()
+	m.PSC.Enabled = parent.PSC.Enabled
+	if m.PTELines.Sets() != parent.PTELines.Sets() || m.PTELines.Ways() != parent.PTELines.Ways() {
+		m.PTELines = ptecache.New(parent.PTELines.Sets(), parent.PTELines.Ways())
+	} else {
+		m.PTELines.Flush()
+	}
+	m.Counters.Reset()
+	clear(m.backing)
+}
+
+// Unbind drops a pooled replica's references to its parent's victim state
+// (address spaces, allocator, write shadow) while it sits idle between
+// scans, so a discarded victim's page tables and memory image are not
+// pinned for the rest of the session. The next Rebind restores every
+// dropped reference; an unbound machine must not execute anything.
+func (m *Machine) Unbind() {
+	m.KernelAS = nil
+	m.UserAS = nil
+	m.Alloc = nil
+	clear(m.backing)
+}
+
 // ReseedNoise restarts the measurement-noise stream from seed. The scan
 // engine reseeds per VA chunk so a chunk's measurements depend only on the
 // chunk, not on which worker ran it or in what order.
@@ -628,7 +672,11 @@ func (m *Machine) EvictTLB() {
 func (m *Machine) EvictTranslation(va paging.VirtAddr) {
 	m.TLB.Invalidate(va)
 	m.PSC.Flush()
-	w := m.UserAS.Translate(paging.PageBase(va, paging.Page4K), nil)
+	// Reuse the machine's walk scratch buffer: the AMD term-level sweep
+	// issues one targeted eviction per sample, and a per-call Visited
+	// allocation here dominated that sweep's host cost.
+	w := m.UserAS.Translate(paging.PageBase(va, paging.Page4K), m.visitBuf)
+	m.visitBuf = w.Visited
 	for i, frame := range w.Visited {
 		idx := entryIndexAt(va, paging.Level(i+1))
 		m.PTELines.Evict(frame, idx)

@@ -1,31 +1,60 @@
-// Package scan is the sharded, parallel scan engine behind the large
-// virtual-address sweeps (kernel base, module region, Windows 2^18-slot
-// region, user-space fine scan).
+// Package scan is the sharded, parallel scan engine behind every large
+// virtual-address sweep (kernel base, module region, Windows 2^18-slot
+// region, the two-pass user-space fine scan, the AMD walk-termination
+// sweep).
 //
 // # Architecture
 //
-// A scan partitions its probe index range [0, n) into fixed-size chunks and
-// fans the chunks out across N worker goroutines through a work-stealing
-// counter. Each worker owns a private probing context (in the simulator: a
-// machine.Machine replica sharing the victim's address spaces copy-on-read,
-// with private TLB/PSC/PTE-line/counter/noise state — see Machine.Clone),
-// so workers never contend on shared mutable state.
+// The engine is generic over the verdict type V: a sweep produces one
+// verdict per probed index — a mapped/unmapped bool, a permission class,
+// a "walk reaches a PT" bool — plus the raw decision measurement. Any
+// per-VA probe whose outcome reduces to a comparable verdict can be
+// sharded by wrapping its probing context in a Worker[V].
+//
+// A scan partitions its probe index range [0, n) into fixed-size chunks
+// and fans the chunks out across N worker goroutines through a
+// work-stealing counter. Each worker owns a private probing context (in
+// the simulator: a machine.Machine replica sharing the victim's address
+// spaces copy-on-read, with private TLB/PSC/PTE-line/counter/noise state —
+// see Machine.Clone), so workers never contend on shared mutable state.
+// An optional skip list (Engine.SetSkip) excludes indices — the user-scan
+// store pass skips pages its load pass read as unmapped — without
+// consuming probes or noise.
+//
+// # Worker pool
+//
+// Creating a worker is the expensive part of a scan (Machine.Clone builds
+// the replica's TLB, paging-structure and PTE-line caches). A Pool is a
+// persistent free list of replicas shared by every scan in a session:
+// Worker factories draw replicas from the pool and return them after the
+// merge, and a reused replica is re-synced to its current parent with
+// Machine.Rebind (structure reuse, zero allocations) instead of
+// re-cloned. Concurrent scans may share one pool; each replica is handed
+// to exactly one scan at a time.
 //
 // # Determinism
 //
-// Parallel output is bit-identical to sequential output for a fixed seed,
-// regardless of worker count or scheduling. Two rules make that hold:
+// Output is bit-identical for a fixed seed regardless of worker count,
+// scheduling, or replica history (pooled vs fresh). Two rules make that
+// hold:
 //
 //  1. Per-chunk state reset. Worker.Start is called before each chunk with
 //     a seed derived only from (engine seed, chunk index); the worker
 //     resets its translation caches and reseeds its noise stream, so a
 //     chunk's measurements depend only on the chunk, never on which worker
-//     ran it or what it probed before.
+//     ran it, what it probed before, or which earlier scans it served.
 //  2. Deterministic merge. Workers write results into disjoint index ranges
 //     of the shared output slices; simulated-cycle totals are summed with
-//     commutative integer addition; and the healing pass (re-probe of
-//     isolated verdict flips, the paper's second pass) runs single-threaded
-//     in ascending index order on its own seeded stream after the merge.
+//     commutative integer addition; and the healing pass runs
+//     single-threaded in ascending index order on its own seeded stream
+//     after the merge.
+//
+// The healing pass (the paper's second pass) re-probes, min-of-k, every
+// index whose verdict disagrees with a neighbour — both isolated flips
+// (an interrupt spike splitting a run in two) and run edges (a spike
+// silently shortening a run, which breaks exact-run-length signatures).
+// Sweeps whose true signal is isolated singletons — the AMD 4 KiB-slot
+// sweep — disable it with Config.HealSamples < 0.
 //
 // The per-chunk reset is a simulator-level operation (no attacker time is
 // charged): sharding models a faster host, not a different attack.

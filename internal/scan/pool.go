@@ -1,0 +1,65 @@
+package scan
+
+import "sync"
+
+// Pool is a persistent, concurrency-safe free list of worker replicas,
+// reused across scans within a session. Creating a replica is the expensive
+// part of a sharded scan (in the simulator: Machine.Clone allocates the
+// replica's TLB, paging-structure and PTE-line caches — ~170 allocations);
+// the pool amortizes that cost over every scan in the run.
+//
+// The pool does not know how to build or reset a replica — callers pass a
+// constructor to Get and re-sync reused replicas themselves (the engine's
+// per-chunk Worker.Start reset is what makes pooled output bit-identical to
+// fresh-worker output regardless of a replica's history).
+//
+// The zero value is an empty, ready-to-use pool. Concurrent scans may share
+// one pool: Get hands out each replica to exactly one caller at a time.
+type Pool[R any] struct {
+	mu   sync.Mutex
+	free []R
+	made int
+}
+
+// Get pops a free replica, or calls make with the pool-wide creation
+// ordinal to build a new one. reused reports whether the replica has served
+// an earlier scan — the caller must then re-sync it to its current parent
+// state before probing. make runs outside the pool lock, so concurrent
+// callers can clone machines in parallel.
+func (p *Pool[R]) Get(make func(ord int) R) (r R, reused bool) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		r = p.free[n-1]
+		var zero R
+		p.free[n-1] = zero
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return r, true
+	}
+	ord := p.made
+	p.made++
+	p.mu.Unlock()
+	return make(ord), false
+}
+
+// Put returns a replica to the free list after a scan.
+func (p *Pool[R]) Put(r R) {
+	p.mu.Lock()
+	p.free = append(p.free, r)
+	p.mu.Unlock()
+}
+
+// Made returns how many replicas the pool has ever created (a reuse
+// diagnostic: steady-state scanning must not grow it).
+func (p *Pool[R]) Made() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.made
+}
+
+// Idle returns how many replicas are currently free.
+func (p *Pool[R]) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

@@ -1,0 +1,87 @@
+package scan
+
+import (
+	"sync"
+	"testing"
+)
+
+type fakeReplica struct{ ord int }
+
+func TestPoolGetPutReuse(t *testing.T) {
+	var p Pool[*fakeReplica]
+	mk := func(ord int) *fakeReplica { return &fakeReplica{ord: ord} }
+
+	a, reused := p.Get(mk)
+	if reused || a.ord != 0 {
+		t.Fatalf("first Get: reused=%v ord=%d", reused, a.ord)
+	}
+	b, reused := p.Get(mk)
+	if reused || b.ord != 1 {
+		t.Fatalf("second Get: reused=%v ord=%d", reused, b.ord)
+	}
+	if p.Made() != 2 || p.Idle() != 0 {
+		t.Fatalf("made=%d idle=%d, want 2/0", p.Made(), p.Idle())
+	}
+
+	p.Put(a)
+	p.Put(b)
+	if p.Idle() != 2 {
+		t.Fatalf("idle=%d after Put, want 2", p.Idle())
+	}
+
+	// A later "scan" must reuse the existing replicas, not create more.
+	c, reused := p.Get(mk)
+	if !reused {
+		t.Fatal("third Get did not reuse a pooled replica")
+	}
+	if c != a && c != b {
+		t.Fatal("reused replica is not one of the originals")
+	}
+	if p.Made() != 2 {
+		t.Fatalf("made grew to %d on reuse", p.Made())
+	}
+}
+
+// Concurrent scans sharing one pool must each get exclusive replicas and
+// never observe another scan's replica mid-use (run under -race).
+func TestPoolConcurrentGetPut(t *testing.T) {
+	var p Pool[*fakeReplica]
+	mk := func(ord int) *fakeReplica { return &fakeReplica{ord: ord} }
+
+	const goroutines = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Acquire a few replicas, touch them, return them.
+				rs := make([]*fakeReplica, 3)
+				for j := range rs {
+					r, _ := p.Get(mk)
+					r.ord++ // exclusive-use write: -race flags sharing
+					rs[j] = r
+				}
+				seen := map[*fakeReplica]bool{}
+				for _, r := range rs {
+					if seen[r] {
+						t.Error("pool handed the same replica out twice in one scan")
+					}
+					seen[r] = true
+				}
+				for _, r := range rs {
+					p.Put(r)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// At most goroutines*3 replicas can ever be in flight at once.
+	if p.Made() > goroutines*3 {
+		t.Fatalf("pool created %d replicas for %d concurrent slots", p.Made(), goroutines*3)
+	}
+	if p.Idle() != p.Made() {
+		t.Fatalf("idle=%d != made=%d after all Puts", p.Idle(), p.Made())
+	}
+}

@@ -13,35 +13,37 @@ import (
 // 512-slot kernel scan still splits across workers.
 const DefaultChunkPages = 128
 
-// Sample is one probe outcome.
-type Sample struct {
+// Sample is one probe outcome: the decision measurement plus the verdict
+// the probe derived from it (mapped/unmapped, a permission class, a
+// walk-termination level, ...).
+type Sample[V comparable] struct {
 	// Cycles is the probe's decision measurement.
 	Cycles float64
-	// Fast is the probe's verdict against the calibrated threshold.
-	Fast bool
+	// Verdict is the probe's classification of the address.
+	Verdict V
 }
 
 // Worker is one shard's probing context. Implementations wrap a calibrated
 // prober on a private machine replica. Workers are used by one goroutine at
 // a time; distinct workers run concurrently.
-type Worker interface {
+type Worker[V comparable] interface {
 	// Start resets the worker for one chunk: translation caches emptied and
 	// the noise stream reseeded from chunkSeed, so the chunk's measurements
 	// are a pure function of (shared victim state, chunkSeed).
 	Start(chunkSeed uint64)
 	// Probe measures one address.
-	Probe(va paging.VirtAddr) Sample
-	// Classify applies the calibrated fast/slow threshold to a reduced
-	// measurement (used when the healing pass merges re-probe minima).
-	Classify(cycles float64) bool
+	Probe(va paging.VirtAddr) Sample[V]
+	// Classify re-derives a verdict from a reduced measurement (used when
+	// the healing pass merges re-probe minima).
+	Classify(cycles float64) V
 	// Elapsed returns the simulated cycles consumed since the last Start.
 	Elapsed() uint64
 }
 
 // Factory builds the worker for one shard. It is called sequentially from
 // the scanning goroutine before any worker runs, so implementations may
-// clone machines without locking.
-type Factory func(id int) Worker
+// clone machines (or draw replicas from a Pool) without locking.
+type Factory[V comparable] func(id int) Worker[V]
 
 // Config tunes an Engine.
 type Config struct {
@@ -54,37 +56,50 @@ type Config struct {
 	// bit-identical results at any worker count.
 	Seed uint64
 	// HealSamples is the re-probe count of the healing pass. 0 means 3
-	// (min-of-3, matching the paper's second pass).
+	// (min-of-3, matching the paper's second pass); negative disables
+	// healing entirely — sweeps whose signal *is* isolated singletons
+	// (the AMD 4 KiB-slot sweep) must not smooth them away.
 	HealSamples int
 }
 
-// Engine shards scans over a VA range across workers.
-type Engine struct {
+// Engine shards scans over a VA range across workers, producing one verdict
+// of type V per probed index.
+type Engine[V comparable] struct {
 	cfg     Config
-	factory Factory
+	factory Factory[V]
+	skip    func(i int) bool
+	skipV   V
 }
 
 // New creates an engine. The factory is invoked once per shard at the start
 // of each Scan call.
-func New(cfg Config, factory Factory) *Engine {
+func New[V comparable](cfg Config, factory Factory[V]) *Engine[V] {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.ChunkPages <= 0 {
 		cfg.ChunkPages = DefaultChunkPages
 	}
-	if cfg.HealSamples <= 0 {
+	if cfg.HealSamples == 0 {
 		cfg.HealSamples = 3
 	}
-	return &Engine{cfg: cfg, factory: factory}
+	return &Engine[V]{cfg: cfg, factory: factory}
+}
+
+// SetSkip excludes indices from probing and healing: a skipped index gets
+// verdict v and zero cycles without consuming a probe or any of the chunk's
+// noise stream, so skipping keeps chunk determinism intact (the user-scan
+// store pass skips the pages its load pass read as unmapped).
+func (e *Engine[V]) SetSkip(skip func(i int) bool, v V) {
+	e.skip, e.skipV = skip, v
 }
 
 // Result is one scan's merged output.
-type Result struct {
-	// Mapped and Cycles hold the per-index verdicts and decision
+type Result[V comparable] struct {
+	// Verdicts and Cycles hold the per-index verdicts and decision
 	// measurements, index i corresponding to start + i*stride.
-	Mapped []bool
-	Cycles []float64
+	Verdicts []V
+	Cycles   []float64
 	// SimCycles is the total simulated cycle cost of all probes (the
 	// single-attacker probing time; parallelism is host-side only).
 	SimCycles uint64
@@ -97,8 +112,8 @@ type Result struct {
 // Scan probes n addresses from start at the given stride and returns the
 // merged, healed result. Output is bit-identical for a fixed Config.Seed
 // regardless of Config.Workers.
-func (e *Engine) Scan(start paging.VirtAddr, n int, stride uint64) Result {
-	res := Result{Mapped: make([]bool, n), Cycles: make([]float64, n)}
+func (e *Engine[V]) Scan(start paging.VirtAddr, n int, stride uint64) Result[V] {
+	res := Result[V]{Verdicts: make([]V, n), Cycles: make([]float64, n)}
 	if n <= 0 {
 		return res
 	}
@@ -111,7 +126,7 @@ func (e *Engine) Scan(start paging.VirtAddr, n int, stride uint64) Result {
 	res.Chunks = chunks
 	res.Workers = nw
 
-	workers := make([]Worker, nw)
+	workers := make([]Worker[V], nw)
 	for i := range workers {
 		workers[i] = e.factory(i)
 	}
@@ -121,7 +136,7 @@ func (e *Engine) Scan(start paging.VirtAddr, n int, stride uint64) Result {
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
-		go func(wk Worker) {
+		go func(wk Worker[V]) {
 			defer wg.Done()
 			var local uint64
 			for {
@@ -134,11 +149,15 @@ func (e *Engine) Scan(start paging.VirtAddr, n int, stride uint64) Result {
 				if hi > n {
 					hi = n
 				}
-				wk.Start(chunkSeed(e.cfg.Seed, uint64(c)))
+				wk.Start(StreamSeed(e.cfg.Seed, uint64(c)))
 				for i := lo; i < hi; i++ {
+					if e.skip != nil && e.skip(i) {
+						res.Verdicts[i] = e.skipV
+						continue
+					}
 					s := wk.Probe(start + paging.VirtAddr(uint64(i)*stride))
 					res.Cycles[i] = s.Cycles
-					res.Mapped[i] = s.Fast
+					res.Verdicts[i] = s.Verdict
 				}
 				local += wk.Elapsed()
 			}
@@ -148,21 +167,32 @@ func (e *Engine) Scan(start paging.VirtAddr, n int, stride uint64) Result {
 	wg.Wait()
 	res.SimCycles = sim.Load()
 
-	e.heal(&res, start, n, stride, workers[0])
+	if e.cfg.HealSamples > 0 {
+		e.heal(&res, start, n, stride, workers[0])
+	}
 	return res
 }
 
 // heal re-probes (min-of-HealSamples) every index whose verdict disagrees
-// with both neighbours: interrupt spikes produce isolated false "unmapped"
-// reads that would split a module or image run in two. It runs
-// single-threaded in ascending index order on a chunk-independent seed, so
-// its output depends only on the merged first-pass result.
-func (e *Engine) heal(res *Result, start paging.VirtAddr, n int, stride uint64, w Worker) {
-	w.Start(chunkSeed(e.cfg.Seed, uint64(res.Chunks)+1))
+// with a neighbour — isolated flips AND run edges. Interrupt spikes produce
+// misreads that either split a module or image run in two (isolated flip)
+// or silently shorten a run by one (edge flip: the misread agrees with the
+// unmapped side, so an isolated-only rule never catches it and an
+// exact-run-length signature match fails). Genuine boundaries are stable
+// under the re-probe: noise is additive, so the minimum converges to the
+// true class latency and the verdict stands. The pass runs single-threaded
+// in ascending index order on a chunk-independent seed, so its output
+// depends only on the merged first-pass result. Skipped indices are
+// neither healed nor re-probed.
+func (e *Engine[V]) heal(res *Result[V], start paging.VirtAddr, n int, stride uint64, w Worker[V]) {
+	w.Start(StreamSeed(e.cfg.Seed, uint64(res.Chunks)+1))
 	for i := 0; i < n; i++ {
-		left := i == 0 || res.Mapped[i-1] != res.Mapped[i]
-		right := i == n-1 || res.Mapped[i+1] != res.Mapped[i]
-		if !(left && right) {
+		if e.skip != nil && e.skip(i) {
+			continue
+		}
+		left := i > 0 && res.Verdicts[i-1] != res.Verdicts[i]
+		right := i < n-1 && res.Verdicts[i+1] != res.Verdicts[i]
+		if !(left || right) {
 			continue
 		}
 		va := start + paging.VirtAddr(uint64(i)*stride)
@@ -173,17 +203,26 @@ func (e *Engine) heal(res *Result, start paging.VirtAddr, n int, stride uint64, 
 			}
 		}
 		res.Cycles[i] = best
-		res.Mapped[i] = w.Classify(best)
+		res.Verdicts[i] = w.Classify(best)
 		res.Healed++
 	}
 	res.SimCycles += w.Elapsed()
 }
 
-// chunkSeed derives the noise seed of one chunk from the engine seed with a
-// SplitMix64-style finalizer, so chunk streams are statistically
-// independent yet a pure function of (seed, chunk).
-func chunkSeed(seed, chunk uint64) uint64 {
-	z := seed + 0x9e3779b97f4a7c15*(chunk+1)
+// PostSweepStream is the stream id reserved for the caller's canonical
+// post-sweep state (the parent machine's noise reseed after a sweep). No
+// scan can reach it: chunk streams use ids 0..chunks-1 and the healing
+// pass chunks+1, both bounded by the probe count.
+const PostSweepStream = ^uint64(0) - 1
+
+// StreamSeed derives the noise seed of one stream of a scan from the
+// engine seed with a SplitMix64-style finalizer, so streams are
+// statistically independent yet a pure function of (seed, stream id) —
+// and distinct ids never collide (the id map is injective and the
+// finalizer a bijection). Chunks use their index as the id; the healing
+// pass uses chunks+1; PostSweepStream is reserved for callers.
+func StreamSeed(seed, stream uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(stream+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)

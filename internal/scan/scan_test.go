@@ -29,31 +29,31 @@ func (w *detWorker) Start(chunkSeed uint64) {
 	w.elapsed = 0
 }
 
-func (w *detWorker) Probe(va paging.VirtAddr) Sample {
+func (w *detWorker) Probe(va paging.VirtAddr) Sample[bool] {
 	w.mu.Lock()
 	w.calls++
 	w.mu.Unlock()
 	w.n++
-	noise := float64(chunkSeed(w.seed, w.n)%7) - 3 // [-3, 3] pseudo-noise
+	noise := float64(StreamSeed(w.seed, w.n)%7) - 3 // [-3, 3] pseudo-noise
 	mapped := va >= w.mappedLo && va < w.mappedHi
 	cycles := 100.0 + noise
 	if !mapped {
 		cycles = 140.0 + noise
 	}
 	w.elapsed += uint64(cycles)
-	return Sample{Cycles: cycles, Fast: w.Classify(cycles)}
+	return Sample[bool]{Cycles: cycles, Verdict: w.Classify(cycles)}
 }
 
 func (w *detWorker) Classify(cycles float64) bool { return cycles < 120 }
 func (w *detWorker) Elapsed() uint64              { return w.elapsed }
 
-func detFactory(lo, hi paging.VirtAddr) Factory {
-	return func(id int) Worker { return &detWorker{mappedLo: lo, mappedHi: hi} }
+func detFactory(lo, hi paging.VirtAddr) Factory[bool] {
+	return func(id int) Worker[bool] { return &detWorker{mappedLo: lo, mappedHi: hi} }
 }
 
 const testStride = uint64(paging.Page4K)
 
-func runScan(t *testing.T, workers, n int) Result {
+func runScan(t *testing.T, workers, n int) Result[bool] {
 	t.Helper()
 	start := paging.VirtAddr(0x1000000)
 	lo := start + paging.VirtAddr(100*testStride)
@@ -69,8 +69,8 @@ func TestScanParallelMatchesSequential(t *testing.T) {
 	seq := runScan(t, 1, n)
 	for _, w := range []int{2, 3, 8, 16} {
 		par := runScan(t, w, n)
-		if !reflect.DeepEqual(seq.Mapped, par.Mapped) {
-			t.Fatalf("workers=%d: mapped bitmap differs from sequential", w)
+		if !reflect.DeepEqual(seq.Verdicts, par.Verdicts) {
+			t.Fatalf("workers=%d: verdicts differ from sequential", w)
 		}
 		if !reflect.DeepEqual(seq.Cycles, par.Cycles) {
 			t.Fatalf("workers=%d: cycle measurements differ from sequential", w)
@@ -83,7 +83,7 @@ func TestScanParallelMatchesSequential(t *testing.T) {
 
 func TestScanFindsMappedRun(t *testing.T) {
 	res := runScan(t, 4, 1000)
-	for i, m := range res.Mapped {
+	for i, m := range res.Verdicts {
 		want := i >= 100 && i < 300
 		if m != want {
 			t.Fatalf("index %d: mapped=%v, want %v", i, m, want)
@@ -91,6 +91,95 @@ func TestScanFindsMappedRun(t *testing.T) {
 	}
 	if res.Chunks != (1000+63)/64 {
 		t.Fatalf("chunks = %d", res.Chunks)
+	}
+}
+
+// classWorker probes into a small verdict enum, exercising the engine with
+// a non-bool verdict type (the user-scan store pass shape).
+type classWorker struct {
+	detWorker
+}
+
+func (w *classWorker) Probe(va paging.VirtAddr) Sample[int] {
+	s := w.detWorker.Probe(va)
+	return Sample[int]{Cycles: s.Cycles, Verdict: w.Classify(s.Cycles)}
+}
+
+func (w *classWorker) Classify(cycles float64) int {
+	if cycles < 120 {
+		return 2 // "writable"
+	}
+	return 1 // "read-only"
+}
+
+// vaRecorder wraps a worker and records every VA handed to Probe, so a
+// test can prove an address was never probed at all (not merely that its
+// result slot was overwritten afterwards).
+type vaRecorder struct {
+	*classWorker
+	probed map[paging.VirtAddr]int
+}
+
+func (w *vaRecorder) Probe(va paging.VirtAddr) Sample[int] {
+	w.probed[va]++
+	return w.classWorker.Probe(va)
+}
+
+// The engine must support non-bool verdicts with skipped indices: a
+// skipped index gets the skip verdict and zero cycles, its VA is never
+// passed to Probe (no noise draw — the determinism contract of the
+// user-scan store pass), and it is excluded from healing.
+func TestScanSkipIndices(t *testing.T) {
+	start := paging.VirtAddr(0x1000000)
+	lo := start
+	hi := start + paging.VirtAddr(1000*testStride)
+	probed := make(map[paging.VirtAddr]int)
+	eng := New(Config{Workers: 1, ChunkPages: 64, Seed: 9}, func(id int) Worker[int] {
+		return &vaRecorder{classWorker: &classWorker{detWorker{mappedLo: lo, mappedHi: hi}}, probed: probed}
+	})
+	skip := func(i int) bool { return i%3 == 0 }
+	eng.SetSkip(skip, 0)
+	const n = 600
+	res := eng.Scan(start, n, testStride)
+	for i := 0; i < n; i++ {
+		va := start + paging.VirtAddr(uint64(i)*testStride)
+		if skip(i) {
+			if res.Verdicts[i] != 0 || res.Cycles[i] != 0 {
+				t.Fatalf("index %d: skipped index has verdict %d, cycles %v", i, res.Verdicts[i], res.Cycles[i])
+			}
+			if probed[va] != 0 {
+				t.Fatalf("index %d: skipped index probed %d times", i, probed[va])
+			}
+			continue
+		}
+		if probed[va] == 0 {
+			t.Fatalf("index %d: probe-able index never probed", i)
+		}
+		if res.Verdicts[i] == 0 {
+			t.Fatalf("index %d: probed index has skip verdict", i)
+		}
+	}
+}
+
+// Skipped scans must stay bit-identical across worker counts too.
+func TestScanSkipParallelParity(t *testing.T) {
+	start := paging.VirtAddr(0x1000000)
+	run := func(workers int) Result[int] {
+		eng := New(Config{Workers: workers, ChunkPages: 64, Seed: 17}, func(id int) Worker[int] {
+			return &classWorker{detWorker{mappedLo: start, mappedHi: start + paging.VirtAddr(1000*testStride)}}
+		})
+		eng.SetSkip(func(i int) bool { return i%5 == 2 }, 0)
+		return eng.Scan(start, 777, testStride)
+	}
+	seq := run(1)
+	for _, w := range []int{2, 8} {
+		par := run(w)
+		if !reflect.DeepEqual(seq.Verdicts, par.Verdicts) || !reflect.DeepEqual(seq.Cycles, par.Cycles) {
+			t.Fatalf("workers=%d: skipped scan differs from sequential", w)
+		}
+		if seq.SimCycles != par.SimCycles {
+			t.Fatalf("workers=%d: SimCycles differ", w)
+		}
 	}
 }
 
@@ -102,12 +191,12 @@ type healWorker struct {
 	probed map[paging.VirtAddr]int
 }
 
-func (w *healWorker) Probe(va paging.VirtAddr) Sample {
+func (w *healWorker) Probe(va paging.VirtAddr) Sample[bool] {
 	s := w.detWorker.Probe(va)
 	w.probed[va]++
 	if va == w.flipVA && w.probed[va] == 1 {
 		s.Cycles = 150
-		s.Fast = false
+		s.Verdict = false
 	}
 	return s
 }
@@ -118,11 +207,11 @@ func TestScanHealsIsolatedMisread(t *testing.T) {
 	hi := start + paging.VirtAddr(500*testStride)
 	flip := start + paging.VirtAddr(250*testStride)
 	probed := make(map[paging.VirtAddr]int)
-	eng := New(Config{Workers: 1, ChunkPages: 64, Seed: 7}, func(id int) Worker {
+	eng := New(Config{Workers: 1, ChunkPages: 64, Seed: 7}, func(id int) Worker[bool] {
 		return &healWorker{detWorker: detWorker{mappedLo: lo, mappedHi: hi}, flipVA: flip, probed: probed}
 	})
 	res := eng.Scan(start, 500, testStride)
-	if !res.Mapped[250] {
+	if !res.Verdicts[250] {
 		t.Fatal("isolated misread not healed")
 	}
 	if res.Healed == 0 {
@@ -133,11 +222,36 @@ func TestScanHealsIsolatedMisread(t *testing.T) {
 	}
 }
 
+// HealSamples < 0 must disable the healing pass outright: sweeps whose
+// signal is isolated singletons (the AMD 4 KiB-slot sweep) would otherwise
+// have their hits re-probed away.
+func TestScanHealDisabled(t *testing.T) {
+	start := paging.VirtAddr(0x1000000)
+	flip := start + paging.VirtAddr(250*testStride)
+	probed := make(map[paging.VirtAddr]int)
+	eng := New(Config{Workers: 1, ChunkPages: 64, Seed: 7, HealSamples: -1}, func(id int) Worker[bool] {
+		return &healWorker{
+			detWorker: detWorker{mappedLo: start, mappedHi: start + paging.VirtAddr(500*testStride)},
+			flipVA:    flip, probed: probed,
+		}
+	})
+	res := eng.Scan(start, 500, testStride)
+	if res.Healed != 0 {
+		t.Fatalf("healing ran (%d) with HealSamples=-1", res.Healed)
+	}
+	if res.Verdicts[250] {
+		t.Fatal("isolated misread healed despite disabled healing")
+	}
+	if probed[flip] != 1 {
+		t.Fatalf("flip index probed %d times, want exactly 1", probed[flip])
+	}
+}
+
 func TestScanSmallAndEmptyRanges(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 63, 64, 65} {
 		res := runScan(t, 8, n)
-		if len(res.Mapped) != n || len(res.Cycles) != n {
-			t.Fatalf("n=%d: result length %d/%d", n, len(res.Mapped), len(res.Cycles))
+		if len(res.Verdicts) != n || len(res.Cycles) != n {
+			t.Fatalf("n=%d: result length %d/%d", n, len(res.Verdicts), len(res.Cycles))
 		}
 		if n > 0 && res.Workers > res.Chunks {
 			t.Fatalf("n=%d: %d workers for %d chunks", n, res.Workers, res.Chunks)
@@ -148,9 +262,9 @@ func TestScanSmallAndEmptyRanges(t *testing.T) {
 func TestChunkSeedDistinct(t *testing.T) {
 	seen := make(map[uint64]uint64)
 	for c := uint64(0); c < 10000; c++ {
-		s := chunkSeed(99, c)
+		s := StreamSeed(99, c)
 		if prev, dup := seen[s]; dup {
-			t.Fatalf("chunk seeds collide: chunks %d and %d", prev, c)
+			t.Fatalf("stream seeds collide: chunks %d and %d", prev, c)
 		}
 		seen[s] = c
 	}
@@ -175,6 +289,6 @@ func ExampleEngine_Scan() {
 	eng := New(Config{Workers: 4, ChunkPages: 64, Seed: 1},
 		detFactory(start+paging.VirtAddr(2*testStride), start+paging.VirtAddr(6*testStride)))
 	res := eng.Scan(start, 8, testStride)
-	fmt.Println(res.Mapped)
+	fmt.Println(res.Verdicts)
 	// Output: [false false true true true true false false]
 }

@@ -7,10 +7,16 @@
 # suite (minutes).
 set -eu
 
-pattern="${1:-BenchmarkScan|BenchmarkExecMasked|BenchmarkProbeMapped}"
+pattern="${1:-BenchmarkScan|BenchmarkUserScan|BenchmarkTermSweep|BenchmarkExecMasked|BenchmarkProbeMapped}"
 out="BENCH_scan.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
+
+# Pre-flight: numbers from a racy engine are worthless. The race detector
+# over the full tree catches replica-state leaks between pooled scans and
+# engine merge races before anything is recorded.
+echo "pre-flight: go test -race ./..." >&2
+go test -race ./...
 
 go test -bench="$pattern" -benchmem -run='^$' . | tee "$raw"
 
