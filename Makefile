@@ -8,10 +8,13 @@
 #                    appends the parsed results to BENCH_scan.json so the
 #                    perf trajectory is tracked across PRs
 #   make bench-all - same, but runs the full benchmark suite (minutes)
+#   make bench-compare - diff the last two BENCH_scan.json entries and warn
+#                    on >10% probes/s regressions (STRICT=1 to fail on one;
+#                    check the recorded num_cpu before blaming the code)
 
 GO ?= go
 
-.PHONY: all vet test test-race bench bench-all
+.PHONY: all vet test test-race bench bench-all bench-compare
 
 all: vet test
 
@@ -26,7 +29,10 @@ test-race:
 	$(GO) test -race ./...
 
 bench: vet test
-	./scripts/bench.sh 'BenchmarkScan|BenchmarkUserScan|BenchmarkTermSweep|BenchmarkExecMasked|BenchmarkProbeMapped'
+	./scripts/bench.sh 'BenchmarkScan|BenchmarkUserScan|BenchmarkTermSweep|BenchmarkExecMasked|BenchmarkProbeMapped|BenchmarkProbeBatch'
 
 bench-all: vet test
 	./scripts/bench.sh '.'
+
+bench-compare:
+	./scripts/bench_compare.sh

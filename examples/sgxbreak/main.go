@@ -1,7 +1,7 @@
 // Sgxbreak: fine-grained user-space ASLR break from inside an SGX enclave
 // (§IV-F, Figure 7). The enclave-confined attacker linearly probes the
 // process's address space with fault-suppressed masked loads to find the
-// executable, then runs the two-pass load+store permission scan and
+// executable, then runs the fused load+store permission scan and
 // identifies libc by its section-size signature — including rw- pages that
 // never appear in /proc/PID/maps.
 //
@@ -67,7 +67,7 @@ func main() {
 	fmt.Printf("exe code base found: %#x after %d probes (truth %#x)\n\n",
 		uint64(base), probes, uint64(proc.Exe.Base))
 
-	// Recover the section map of the library area with the two-pass scan.
+	// Recover the section map of the library area with the fused scan.
 	libStart := proc.Libs[0].Base - 16*paging.Page4K
 	libEnd := proc.Libs[len(proc.Libs)-1].End() + 8*paging.Page4K
 	scan := core.UserScan(prober, libStart, libEnd)

@@ -66,7 +66,8 @@ type Options struct {
 	// ScanChunkPages overrides the engine shard granularity (0 = default).
 	ScanChunkPages int
 	// Pool, when set, is the session-persistent pool the engine draws its
-	// worker machine replicas from instead of cloning fresh ones per scan.
+	// worker prober replicas (calibrated probers on machine replicas, with
+	// their batch scratch) from instead of cloning fresh ones per scan.
 	// Construct one ScanPool per session and share it across probers (and
 	// victims); pooled output stays bit-identical to fresh-worker runs.
 	Pool *ScanPool
@@ -117,6 +118,20 @@ type Prober struct {
 	// scanEpoch salts the engine seed per ScanMapped call so consecutive
 	// scans on one prober draw independent noise.
 	scanEpoch uint64
+
+	// Batch scratch, reused across chunks (and, via the prober pool, across
+	// scans): the masked-op slice handed to machine.MeasureBatch, the
+	// window-relative positions of the probed ops, the raw per-sample
+	// measurements, the reduced decision values, and the per-window fast
+	// flags. Sized to the largest chunk the prober has probed.
+	batchOps  []avx.Op
+	batchPos  []int
+	batchMeas []float64
+	batchVals []float64
+	batchFast []bool
+	// replicaBuf backs runSweep's per-scan replica list (a Prober runs one
+	// scan at a time, so one buffer suffices).
+	replicaBuf []*Prober
 }
 
 // NewProber creates and calibrates a prober.
@@ -324,6 +339,105 @@ func (p *Prober) ProbeMappedStore(va paging.VirtAddr) ProbeResult {
 	// assist on a read-only page is cheaper than a load assist (P6) and
 	// would pass the load threshold.
 	return ProbeResult{VA: va, Cycles: best, Fast: p.StoreThreshold.Classify(best)}
+}
+
+// ProbeBatch probes n pages from start at the given stride with the
+// double-execution page-table attack (P2) — the batched form of a
+// ProbeMapped loop, bit-identical to it for the same machine state and
+// noise stream, with the per-probe overhead (op plumbing, noise-sigma
+// composition, sample reduction setup) amortized across the batch through
+// machine.MeasureBatch. cycles[i] receives page i's decision measurement
+// and fast[i] its threshold verdict; both slices must have length >= n.
+func (p *Prober) ProbeBatch(start paging.VirtAddr, n int, stride uint64, cycles []float64, fast []bool) {
+	p.probeBatchWindow(false, start, stride, 0, n, nil, cycles, fast)
+}
+
+// ProbeBatchStore is ProbeBatch with the masked-store attack (P5/P6):
+// verdicts classify against the store threshold, like ProbeMappedStore.
+func (p *Prober) ProbeBatchStore(start paging.VirtAddr, n int, stride uint64, cycles []float64, fast []bool) {
+	p.probeBatchWindow(true, start, stride, 0, n, nil, cycles, fast)
+}
+
+// probeBatchWindow is the one batched probing primitive under ProbeBatch,
+// ProbeBatchStore and every batched scan-engine chunk: it double-execution
+// probes the non-skipped indices of [lo, hi) (page i at start + i*stride),
+// writing each probed index's decision measurement into cycles[i-lo] and
+// its threshold verdict into fast[i-lo], and returns the window-relative
+// positions probed. Skipped indices consume no probe and no noise, and
+// their window entries are left untouched. The probe sequence per index —
+// one warm-up execution, ProbeSamples measured executions, jitter, then
+// reduction — is exactly ProbeMapped's (ProbeMappedStore's for store), so
+// the batched path is bit-identical to the per-VA one.
+func (p *Prober) probeBatchWindow(store bool, start paging.VirtAddr, stride uint64, lo, hi int,
+	skip func(int) bool, cycles []float64, fast []bool) []int {
+	n := hi - lo
+	if cap(p.batchOps) < n {
+		p.batchOps = make([]avx.Op, 0, n)
+		p.batchPos = make([]int, 0, n)
+	}
+	ops, pos := p.batchOps[:0], p.batchPos[:0]
+	for i := lo; i < hi; i++ {
+		if skip != nil && skip(i) {
+			continue
+		}
+		va := start + paging.VirtAddr(uint64(i)*stride)
+		if store {
+			ops = append(ops, avx.MaskedStore(va, avx.ZeroMask))
+		} else {
+			ops = append(ops, avx.MaskedLoad(va, avx.ZeroMask))
+		}
+		pos = append(pos, i-lo)
+	}
+	vals := p.measureBatch(ops, !store)
+	thr := &p.Threshold
+	if store {
+		thr = &p.StoreThreshold
+	}
+	for j, v := range vals {
+		cycles[pos[j]] = v
+		fast[pos[j]] = thr.Classify(v)
+	}
+	return pos
+}
+
+// measureBatch measures every op with the double-execution probe (one
+// warm-up, ProbeSamples measured runs) and reduces each op's samples to its
+// decision value with the configured estimator, returning one value per op
+// in a reused buffer. Load probes add the configured extra timer jitter per
+// sample, like measureLoad; store probes do not, like measureStore.
+func (p *Prober) measureBatch(ops []avx.Op, loadJitter bool) []float64 {
+	k := p.Opt.ProbeSamples
+	if need := len(ops) * k; cap(p.batchMeas) < need {
+		p.batchMeas = make([]float64, need)
+	}
+	meas := p.batchMeas[:len(ops)*k]
+	p.faults += p.M.MeasureBatch(ops, 1, k, meas)
+	if cap(p.batchVals) < len(ops) {
+		p.batchVals = make([]float64, len(ops))
+	}
+	vals := p.batchVals[:len(ops)]
+	jitter := 0.0
+	if loadJitter && p.Opt.ExtraJitterSigma > 0 {
+		jitter = p.Opt.ExtraJitterSigma
+	}
+	for j := range ops {
+		xs := meas[j*k : (j+1)*k]
+		if jitter > 0 {
+			for t := range xs {
+				xs[t] += jitter
+			}
+		}
+		vals[j] = p.reduce(xs)
+	}
+	return vals
+}
+
+// fastWindow returns the reusable per-window fast-flag scratch buffer.
+func (p *Prober) fastWindow(n int) []bool {
+	if cap(p.batchFast) < n {
+		p.batchFast = make([]bool, n)
+	}
+	return p.batchFast[:n]
 }
 
 // TermProbe is one walk-termination-level probe outcome (P3).

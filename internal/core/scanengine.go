@@ -1,51 +1,73 @@
 package core
 
 import (
+	"math"
+	"sync/atomic"
+
 	"repro/internal/machine"
 	"repro/internal/paging"
+	"repro/internal/rng"
 	"repro/internal/scan"
 )
 
-// ScanPool is a session-persistent pool of worker machine replicas for the
+// ScanPool is a session-persistent pool of worker prober replicas for the
 // sharded scan engine. Construct one per session (CLI run, experiment
 // sweep, evaluation harness) and share it through Options.Pool: the first
 // scan clones its workers, every later scan — even against a different
 // victim machine — rebinds and reuses them, amortizing the ~170-allocation
-// clone cost across the whole run. Pooled scans stay bit-identical to
-// fresh-worker and sequential runs because every worker is noise-reseeded
-// and translation-reset per chunk regardless of its history.
+// machine clone cost across the whole run. The pool holds whole *Prober
+// replicas, not bare machines: each replica carries its batch scratch
+// buffers (masked-op slices, measurement windows) across scans, so a
+// pooled re-scan's allocations stop growing with the worker count. Pooled
+// scans stay bit-identical to fresh-worker and sequential runs because
+// every worker is noise-reseeded and translation-reset per chunk
+// regardless of its history.
 //
 // Concurrent scans may share one pool (each replica is handed to exactly
 // one scan at a time), but a single Prober must not run two scans
 // concurrently.
 type ScanPool struct {
-	pool scan.Pool[*machine.Machine]
+	pool scan.Pool[*Prober]
 }
 
 // NewScanPool creates an empty pool.
 func NewScanPool() *ScanPool { return &ScanPool{} }
 
-// Replicas returns how many worker machines the pool has ever cloned
+// Replicas returns how many worker replicas the pool has ever cloned
 // (steady-state scanning must not grow it).
 func (sp *ScanPool) Replicas() int { return sp.pool.Made() }
 
-// get returns a machine replica bound to parent's current state.
-func (sp *ScanPool) get(parent *machine.Machine, seed uint64) *machine.Machine {
-	m, reused := sp.pool.Get(func(ord int) *machine.Machine {
-		return parent.Clone(seed + uint64(ord))
+// get returns a prober replica bound to parent's current machine state and
+// calibration.
+func (sp *ScanPool) get(parent *Prober, seed uint64) *Prober {
+	rp, reused := sp.pool.Get(func(ord int) *Prober {
+		return parent.CloneTo(parent.M.Clone(seed + uint64(ord)))
 	})
 	if reused {
-		m.Rebind(parent)
+		rp.M.Rebind(parent.M)
+		rp.adopt(parent)
 	}
-	return m
+	return rp
 }
 
 // put parks a replica in the pool after a scan, unbound from the victim so
 // an idle pool does not pin a discarded machine's page tables and memory
 // (the next get's Rebind restores the references).
-func (sp *ScanPool) put(m *machine.Machine) {
-	m.Unbind()
-	sp.pool.Put(m)
+func (sp *ScanPool) put(rp *Prober) {
+	rp.M.Unbind()
+	sp.pool.Put(rp)
+}
+
+// adopt re-targets a pooled prober replica at parent's calibration and
+// options (the prober-level counterpart of machine.Rebind): thresholds are
+// a property of the preset and noise model, so copying them is all a
+// replica needs to probe for a new parent — its scratch buffers stay.
+func (rp *Prober) adopt(parent *Prober) {
+	rp.Opt = parent.Opt
+	rp.Threshold = parent.Threshold
+	rp.StoreThreshold = parent.StoreThreshold
+	rp.calibrated = parent.calibrated
+	rp.scratchVA = parent.scratchVA
 }
 
 // CloneTo creates a prober on a machine replica, inheriting this prober's
@@ -70,22 +92,23 @@ func (p *Prober) CloneTo(m *machine.Machine) *Prober {
 // the session pool when Options.Pool is set, freshly cloned otherwise.
 func (p *Prober) acquireReplica(seed uint64, id int) *Prober {
 	if pool := p.Opt.Pool; pool != nil {
-		return p.CloneTo(pool.get(p.M, seed))
+		return pool.get(p, seed)
 	}
 	return p.CloneTo(p.M.Clone(seed + uint64(id)))
 }
 
 // releaseReplicas folds the workers' state back into the parent after a
 // scan — faults and performance counters, so RDTSC/PMC-based accounting in
-// the attack drivers is unchanged — and returns pooled machines to the
+// the attack drivers is unchanged — and returns pooled replicas to the
 // session pool for the next scan.
 func (p *Prober) releaseReplicas(replicas []*Prober) {
 	for _, rp := range replicas {
 		p.faults += rp.faults
 		p.M.Counters.Merge(rp.M.Counters)
 		if pool := p.Opt.Pool; pool != nil {
+			rp.faults = 0
 			rp.M.Counters.Reset()
-			pool.put(rp.M)
+			pool.put(rp)
 		}
 	}
 }
@@ -115,6 +138,21 @@ func (w *mappedWorker) Probe(va paging.VirtAddr) scan.Sample[bool] {
 	return scan.Sample[bool]{Cycles: pr.Cycles, Verdict: pr.Fast}
 }
 
+// ProbeChunk hands the whole chunk to the batched probe primitive; the
+// verdict window doubles as the fast-flag buffer, so results land directly
+// in the engine's per-shard result windows.
+func (w *mappedWorker) ProbeChunk(start paging.VirtAddr, stride uint64, lo, hi int,
+	skip func(int) bool, skipV bool, verdicts []bool, cycles []float64) {
+	if skip != nil {
+		for i := lo; i < hi; i++ {
+			if skip(i) {
+				verdicts[i-lo] = skipV
+			}
+		}
+	}
+	w.p.probeBatchWindow(false, start, stride, lo, hi, skip, cycles, verdicts)
+}
+
 func (w *mappedWorker) Classify(cycles float64) bool {
 	return w.p.Threshold.Classify(cycles)
 }
@@ -128,6 +166,26 @@ func (w *storeWorker) Probe(va paging.VirtAddr) scan.Sample[PermClass] {
 	return scan.Sample[PermClass]{Cycles: pr.Cycles, Verdict: storeClass(pr.Fast)}
 }
 
+// ProbeChunk batches the chunk's store probes, then maps the fast flags to
+// permission classes in the verdict window (skipped pages get skipV —
+// PermUnmapped in the user scan).
+func (w *storeWorker) ProbeChunk(start paging.VirtAddr, stride uint64, lo, hi int,
+	skip func(int) bool, skipV PermClass, verdicts []PermClass, cycles []float64) {
+	p := w.p
+	if skip != nil {
+		for i := lo; i < hi; i++ {
+			if skip(i) {
+				verdicts[i-lo] = skipV
+			}
+		}
+	}
+	fast := p.fastWindow(hi - lo)
+	pos := p.probeBatchWindow(true, start, stride, lo, hi, skip, cycles, fast)
+	for _, j := range pos {
+		verdicts[j] = storeClass(fast[j])
+	}
+}
+
 func (w *storeWorker) Classify(cycles float64) PermClass {
 	return storeClass(w.p.StoreThreshold.Classify(cycles))
 }
@@ -137,6 +195,160 @@ func storeClass(fast bool) PermClass {
 		return PermWritable
 	}
 	return PermReadable
+}
+
+// fusedWorker mounts the fused §IV-F user scan: a single sweep whose
+// verdict carries both the load (mapped) and store (writable)
+// classification per VA, replacing the two serialized engine sweeps. Each
+// chunk runs a load sub-pass over every page and then a store sub-pass over
+// the pages the load sub-pass read as mapped — one pass over the range,
+// one chunk setup, and the store warm-ups reuse the translations the load
+// probes just installed (the simulated attacker pays fewer walks than the
+// two-pass scan, exactly like a real pipelined attacker would).
+//
+// Determinism: the chunk's load and store measurements draw from two
+// separate noise streams derived from the chunk seed, so a page's store
+// noise does not depend on how many pages before it were mapped — the
+// sweep stays bit-identical at any worker count, pooled or fresh. The
+// engine drives chunks through ProbeChunk and heals through HealProbe;
+// Probe/Classify exist to satisfy the Worker interface.
+type fusedWorker struct {
+	workerBase
+	loadNoise  rng.Source
+	storeNoise rng.Source
+	// fb and lo expose the load sub-pass's fast flags to storeSkip (built
+	// once as a method value so per-chunk probing allocates nothing).
+	fb          []bool
+	lo          int
+	storeSkipFn func(int) bool
+	// loadSim and storeSim split the sweep's simulated cycles by sub-pass
+	// (the paper reports the §IV-F load and store runtimes separately);
+	// they are shared by all workers of one scan and summed commutatively,
+	// so the split is as worker-count-invariant as the verdicts.
+	loadSim, storeSim *atomic.Uint64
+}
+
+func newFusedWorker(rp *Prober, loadSim, storeSim *atomic.Uint64) *fusedWorker {
+	w := &fusedWorker{workerBase: workerBase{p: rp}, loadSim: loadSim, storeSim: storeSim}
+	w.storeSkipFn = w.storeSkip
+	return w
+}
+
+// Start derives the chunk's two noise streams and resets translation state.
+// The machine's own stream is left untouched; ProbeChunk and HealProbe swap
+// the sub-pass streams in and out around their measurements.
+func (w *fusedWorker) Start(chunkSeed uint64) {
+	w.loadNoise.Reseed(scan.StreamSeed(chunkSeed, 0))
+	w.storeNoise.Reseed(scan.StreamSeed(chunkSeed, 1))
+	w.p.M.ResetTranslationState()
+	w.t0 = w.p.M.RDTSC()
+}
+
+// storeSkip reports whether the store sub-pass skips index i: the load
+// sub-pass read it as unmapped (or the engine skipped it outright).
+func (w *fusedWorker) storeSkip(i int) bool { return !w.fb[i-w.lo] }
+
+func (w *fusedWorker) ProbeChunk(start paging.VirtAddr, stride uint64, lo, hi int,
+	skip func(int) bool, skipV PermClass, verdicts []PermClass, cycles []float64) {
+	p := w.p
+	fb := p.fastWindow(hi - lo)
+	if skip != nil {
+		for i := lo; i < hi; i++ {
+			if skip(i) {
+				verdicts[i-lo] = skipV
+				fb[i-lo] = false // keep the store sub-pass off skipped pages
+			}
+		}
+	}
+	t0 := p.M.RDTSC()
+	orig := p.M.SwapNoise(&w.loadNoise)
+	w.fb, w.lo = fb, lo
+	pos := p.probeBatchWindow(false, start, stride, lo, hi, skip, cycles, fb)
+	for _, j := range pos {
+		if !fb[j] {
+			verdicts[j] = PermUnmapped
+		}
+	}
+	t1 := p.M.RDTSC()
+	w.loadSim.Add(t1 - t0)
+
+	// Store sub-pass over the load-fast pages, on the chunk's store stream.
+	// probeBatchWindow consults the skip function for every index before it
+	// writes any store fast flag back into fb, so reusing fb is safe. A
+	// mapped page's Cycles entry becomes its store measurement — the
+	// measurement its final verdict was derived from.
+	p.M.SwapNoise(&w.storeNoise)
+	spos := p.probeBatchWindow(true, start, stride, lo, hi, w.storeSkipFn, cycles, fb)
+	for _, j := range spos {
+		verdicts[j] = storeClass(fb[j])
+	}
+	p.M.SwapNoise(orig)
+	w.storeSim.Add(p.M.RDTSC() - t1)
+}
+
+// HealProbe re-decides one disagreeing page with min-of-samples re-probes
+// of both sub-probes: first the load decision (merging the first-pass value
+// only when it is load evidence — an unmapped verdict's cycles are its load
+// measurement, a mapped verdict's are its store measurement), then, for
+// pages that heal to mapped, the store classification.
+func (w *fusedWorker) HealProbe(va paging.VirtAddr, samples int, cycles float64, v PermClass) (float64, PermClass) {
+	p := w.p
+	t0 := p.M.RDTSC()
+	orig := p.M.SwapNoise(&w.loadNoise)
+	best := math.Inf(1)
+	if v == PermUnmapped {
+		best = cycles
+	}
+	for s := 0; s < samples; s++ {
+		if pr := p.ProbeMapped(va); pr.Cycles < best {
+			best = pr.Cycles
+		}
+	}
+	t1 := p.M.RDTSC()
+	w.loadSim.Add(t1 - t0)
+	if !p.Threshold.Classify(best) {
+		p.M.SwapNoise(orig)
+		return best, PermUnmapped
+	}
+	p.M.SwapNoise(&w.storeNoise)
+	sbest := math.Inf(1)
+	if v != PermUnmapped {
+		sbest = cycles
+	}
+	for s := 0; s < samples; s++ {
+		if pr := p.ProbeMappedStore(va); pr.Cycles < sbest {
+			sbest = pr.Cycles
+		}
+	}
+	p.M.SwapNoise(orig)
+	w.storeSim.Add(p.M.RDTSC() - t1)
+	return sbest, storeClass(p.StoreThreshold.Classify(sbest))
+}
+
+// Probe runs the fused probe for a single VA (the engine drives whole
+// chunks through ProbeChunk; this exists for the Worker interface).
+func (w *fusedWorker) Probe(va paging.VirtAddr) scan.Sample[PermClass] {
+	orig := w.p.M.SwapNoise(&w.loadNoise)
+	pr := w.p.ProbeMapped(va)
+	if !pr.Fast {
+		w.p.M.SwapNoise(orig)
+		return scan.Sample[PermClass]{Cycles: pr.Cycles, Verdict: PermUnmapped}
+	}
+	w.p.M.SwapNoise(&w.storeNoise)
+	spr := w.p.ProbeMappedStore(va)
+	w.p.M.SwapNoise(orig)
+	return scan.Sample[PermClass]{Cycles: spr.Cycles, Verdict: storeClass(spr.Fast)}
+}
+
+// Classify approximates a verdict from one measurement under the fused
+// Cycles convention (load value for unmapped pages, store value for
+// mapped). The engine never calls it for fused sweeps — healing goes
+// through HealProbe, which re-derives the two-channel verdict itself.
+func (w *fusedWorker) Classify(cycles float64) PermClass {
+	if !w.p.Threshold.Classify(cycles) {
+		return PermUnmapped
+	}
+	return storeClass(w.p.StoreThreshold.Classify(cycles))
 }
 
 // termWorker probes with the walk-termination-level attack (P3): verdict =
@@ -177,7 +389,7 @@ func runSweep[V comparable](p *Prober, start paging.VirtAddr, n int, stride uint
 	if inline {
 		nw = 1
 	}
-	var replicas []*Prober
+	replicas := p.replicaBuf[:0]
 	eng := scan.New(scan.Config{
 		Workers:     nw,
 		ChunkPages:  p.Opt.ScanChunkPages,
@@ -196,6 +408,11 @@ func runSweep[V comparable](p *Prober, start paging.VirtAddr, n int, stride uint
 	}
 	res := eng.Scan(start, n, stride)
 	p.releaseReplicas(replicas)
+	// Drop the replica pointers before truncating: in the fresh-worker path
+	// the clones are garbage after the merge, and a retained pointer in the
+	// buffer's backing array would pin a whole Machine replica.
+	clear(replicas)
+	p.replicaBuf = replicas[:0]
 	if !inline {
 		// Inline probing advanced the prober's clock directly; replica
 		// probing happened on private clocks and is charged here.

@@ -59,9 +59,9 @@ func TestScanMappedParallelParity(t *testing.T) {
 	}
 }
 
-// userScanResult boots a victim with a userspace process and runs the
-// two-pass §IV-F scan over its libc window.
-func userScanResult(t *testing.T, seed uint64, opt Options) UserScanResult {
+// userScanWith boots a victim with a userspace process and runs the given
+// §IV-F scan variant over its libc window.
+func userScanWith(t *testing.T, seed uint64, opt Options, scan func(*Prober, paging.VirtAddr, paging.VirtAddr) UserScanResult) UserScanResult {
 	t.Helper()
 	m := machine.New(uarch.IceLake1065G7(), seed)
 	if _, err := linux.Boot(m, linux.Config{Seed: seed}); err != nil {
@@ -76,10 +76,16 @@ func userScanResult(t *testing.T, seed uint64, opt Options) UserScanResult {
 		t.Fatal(err)
 	}
 	libc := proc.Libs[0]
-	return UserScan(p, libc.Base-4*paging.Page4K, libc.End()+8*paging.Page4K)
+	return scan(p, libc.Base-4*paging.Page4K, libc.End()+8*paging.Page4K)
 }
 
-// The §IV-F user scan — load pass, store-classification pass, healing and
+// userScanResult runs the default (fused) §IV-F scan.
+func userScanResult(t *testing.T, seed uint64, opt Options) UserScanResult {
+	t.Helper()
+	return userScanWith(t, seed, opt, UserScan)
+}
+
+// The fused §IV-F user scan — load and store sub-probes, healing and
 // region merge — must produce a bit-identical UserScanResult (regions AND
 // cycle accounting) at workers 0, 1, 4 and 8, across seeds.
 func TestUserScanWorkerParity(t *testing.T) {

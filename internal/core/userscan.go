@@ -1,7 +1,10 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/paging"
+	"repro/internal/scan"
 	"repro/internal/userspace"
 )
 
@@ -19,21 +22,47 @@ func (r UserRegion) Pages() int { return int(uint64(r.End-r.Start) >> 12) }
 // (§IV-F).
 type UserScanResult struct {
 	Regions []UserRegion
-	// LoadCycles and StoreCycles split the two passes' runtimes (the paper
-	// reports 51 s for the load pass and 44 s for the store pass).
+	// LoadCycles and StoreCycles split the runtime between the masked-load
+	// and masked-store probing (the paper reports 51 s for the load pass
+	// and 44 s for the store pass). The fused scan attributes each
+	// sub-probe to its side; the two-pass scan splits at the pass boundary.
 	LoadCycles  uint64
 	StoreCycles uint64
 	TotalCycles uint64
 }
 
-// UserScan probes [start, end) at 4 KiB steps with the two-pass §IV-F
-// methodology: a masked-load pass filters out the unmapped/--- pages, then
-// a masked-store pass classifies the mapped pages into writable vs
-// read-only. Adjacent same-class pages merge into regions. Both passes run
-// on the sharded scan engine (see runSweep), so the paper's 44 s store
-// pass parallelizes exactly like the load pass under Options.Workers —
-// with bit-identical output at any worker setting.
+// UserScan probes [start, end) at 4 KiB steps with the §IV-F methodology —
+// masked loads filter out the unmapped/--- pages, masked stores classify
+// the mapped pages into writable vs read-only — as one fused engine sweep:
+// every chunk runs the load probes and then the store probes of its own
+// pages, so the range is walked once, chunk setup is paid once, and the
+// store warm-ups reuse translations the load probes just installed (see
+// fusedWorker). Adjacent same-class pages merge into regions. Output is
+// bit-identical at any Options.Workers setting, pooled or fresh;
+// UserScanTwoPass keeps the serialized two-sweep shape for reference and
+// the fused-vs-two-pass parity suite.
 func UserScan(p *Prober, start, end paging.VirtAddr) UserScanResult {
+	t0 := p.M.RDTSC()
+	var res UserScanResult
+	var loadSim, storeSim atomic.Uint64
+
+	pages := int(uint64(end-start) >> 12)
+	sres := runSweep(p, start, pages, paging.Page4K, 0, nil, PermUnmapped,
+		func(rp *Prober) scan.Worker[PermClass] { return newFusedWorker(rp, &loadSim, &storeSim) })
+
+	res.LoadCycles = loadSim.Load()
+	res.StoreCycles = storeSim.Load()
+	res.TotalCycles = p.M.RDTSC() - t0
+	res.Regions = mergeRegions(start, sres.Verdicts)
+	return res
+}
+
+// UserScanTwoPass is the serialized two-sweep §IV-F scan the fused UserScan
+// replaced: a full masked-load sweep, then a masked-store sweep over the
+// pages the load pass read as mapped. Kept as the reference implementation
+// — the fused scan must recover the same regions at a fixed seed (the
+// parity suite enforces it) — and for ablations of the fusion itself.
+func UserScanTwoPass(p *Prober, start, end paging.VirtAddr) UserScanResult {
 	t0 := p.M.RDTSC()
 	var res UserScanResult
 
@@ -78,16 +107,34 @@ func mergeRegions(start paging.VirtAddr, classes []PermClass) []UserRegion {
 	return regions
 }
 
+// scanUntilWindow is the engine-sweep window of ScanUntilMapped: large
+// enough to amortize a sweep's setup and let workers shard it, small enough
+// that a hit near the region base does not drag a huge overshoot behind it.
+const scanUntilWindow = 2048
+
 // ScanUntilMapped probes forward from start at 4 KiB steps until the first
 // mapped page (the §IV-F base-address search: "linearly probe the entire
 // virtual address range"), up to limit pages. Returns the found address and
-// the number of probes.
+// the 1-based position of the hit in probe order.
+//
+// The search runs on the sharded engine in windows of scanUntilWindow
+// pages — the last non-engine sweep moved onto the one scan path — so it
+// parallelizes under Options.Workers and inherits the engine's healing;
+// within a window the probing (and simulated cost) covers the whole
+// window, as a sharded attacker's would.
 func ScanUntilMapped(p *Prober, start paging.VirtAddr, limit int) (paging.VirtAddr, int, bool) {
-	for i := 0; i < limit; i++ {
-		va := start + paging.VirtAddr(uint64(i)<<12)
-		if pr := p.ProbeMapped(va); pr.Fast {
-			return va, i + 1, true
+	for probed := 0; probed < limit; {
+		n := limit - probed
+		if n > scanUntilWindow {
+			n = scanUntilWindow
 		}
+		mapped, _ := p.ScanMapped(start+paging.VirtAddr(uint64(probed)<<12), n, paging.Page4K)
+		for i, ok := range mapped {
+			if ok {
+				return start + paging.VirtAddr(uint64(probed+i)<<12), probed + i + 1, true
+			}
+		}
+		probed += n
 	}
 	return 0, limit, false
 }

@@ -82,7 +82,7 @@ func Fig6BehaviorSpy(sc Scale) Report {
 
 // Fig7SGXFineGrained reproduces §IV-F and Figure 7: from inside an SGX
 // enclave, find the process code base by linear probing, then recover the
-// section map with the load+store two-pass scan and fingerprint libc by its
+// section map with the fused load+store scan and fingerprint libc by its
 // section-size signature, including pages absent from /proc/PID/maps.
 func Fig7SGXFineGrained(sc Scale) Report {
 	m := machine.New(uarch.IceLake1065G7(), sc.Seed)
@@ -114,7 +114,7 @@ func Fig7SGXFineGrained(sc Scale) Report {
 	searchCycles := m.RDTSC() - t0
 	baseOK := ok1 && exeFound == proc.Exe.Base
 
-	// Section map: two-pass scan over the exe and the library area.
+	// Section map: fused load+store scan over the exe and the library area.
 	exeScan := core.UserScan(p, proc.Exe.Base-16*paging.Page4K, proc.Exe.End()+8*paging.Page4K)
 	libStart := proc.Libs[0].Base - 16*paging.Page4K
 	libEnd := proc.Libs[len(proc.Libs)-1].End() + 8*paging.Page4K

@@ -1,0 +1,63 @@
+package machine
+
+import "repro/internal/avx"
+
+// This file is the batched probe surface of the machine: the scan engine's
+// chunk workers hand whole slices of masked ops down here so the
+// loop-invariant part of a probe — noise-sigma and fence-overhead
+// composition, the double-execution warm-up/measure bracketing, scratch
+// reuse — is paid once per batch instead of once per sample. The ops still
+// execute strictly in slice order through the same ExecMasked/noise path as
+// the single-op calls, so a batch is bit-identical to the equivalent
+// one-op-at-a-time loop: batching buys host time, never different results.
+
+// ExecMaskedBatch executes each op in order as the attacker, writing the
+// per-op results into out (len(out) must be >= len(ops)). Equivalent to
+// calling ExecMasked per op.
+func (m *Machine) ExecMaskedBatch(ops []avx.Op, out []Result) {
+	for i, op := range ops {
+		out[i] = m.ExecMasked(op)
+	}
+}
+
+// MeasureBatch runs the double-execution probe sequence for every op in
+// ops: warmups unmeasured executions, then samples measured executions
+// (the lfence;rdtsc bracket of Measure), writing the measured cycle values
+// to out op-major — out[i*samples+s] is op i's sample s; len(out) must be
+// >= len(ops)*samples. Returns the number of measured executions that
+// delivered a fault.
+//
+// The sequence per op — and therefore every TLB fill, counter update,
+// noise draw and clock charge — is identical to
+//
+//	for w := 0; w < warmups; w++ { m.ExecMasked(op) }
+//	for s := 0; s < samples; s++ { m.Measure(op) }
+//
+// so batched sweeps are bit-identical to per-VA sweeps at any batch
+// boundary; only the per-sample overhead (noise-sigma composition, fence
+// constants, result plumbing) is hoisted out of the loop.
+func (m *Machine) MeasureBatch(ops []avx.Op, warmups, samples int, out []float64) (faults int) {
+	sigma := m.Preset.NoiseSigma + m.Preset.ExtraNoiseSigma
+	fence := m.Preset.FenceOverhead
+	bracket := uint64(m.Preset.FenceOverhead + m.Preset.LoopOverhead)
+	oi := 0
+	for _, op := range ops {
+		for w := 0; w < warmups; w++ {
+			m.ExecMasked(op)
+		}
+		for s := 0; s < samples; s++ {
+			r := m.ExecMasked(op)
+			if r.Faulted {
+				faults++
+			}
+			meas := r.Cycles + fence + m.noiseSampleSigma(sigma)
+			if meas < 0 {
+				meas = 0
+			}
+			m.tsc += bracket
+			out[oi] = meas
+			oi++
+		}
+	}
+	return faults
+}

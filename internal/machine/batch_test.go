@@ -1,0 +1,240 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/avx"
+	"repro/internal/paging"
+	"repro/internal/rng"
+	"repro/internal/uarch"
+)
+
+// testOps builds a mixed batch over mapped and unmapped pages.
+func testOps(n int) []avx.Op {
+	ops := make([]avx.Op, 0, n)
+	for i := 0; i < n; i++ {
+		if i%3 == 2 {
+			ops = append(ops, avx.MaskedLoad(0xffffffff81000000+paging.VirtAddr(i)*paging.Page4K, avx.ZeroMask))
+		} else {
+			ops = append(ops, avx.MaskedLoad(0x7e0000000000+paging.VirtAddr(i%16)*paging.Page4K, avx.ZeroMask))
+		}
+	}
+	return ops
+}
+
+// MeasureBatch must be bit-identical to the equivalent per-op
+// ExecMasked/Measure loop: same measurements, same clock, same counters.
+func TestMeasureBatchMatchesLoop(t *testing.T) {
+	build := func() *Machine {
+		m := New(uarch.IceLake1065G7(), 33)
+		if err := m.MapUser(0x7e0000000000, 16*paging.Page4K, paging.Writable); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	const n = 64
+	const samples = 3
+	ops := testOps(n)
+
+	loopM := build()
+	want := make([]float64, 0, n*samples)
+	wantFaults := 0
+	for _, op := range ops {
+		loopM.ExecMasked(op)
+		for s := 0; s < samples; s++ {
+			v, r := loopM.Measure(op)
+			if r.Faulted {
+				wantFaults++
+			}
+			want = append(want, v)
+		}
+	}
+
+	batchM := build()
+	got := make([]float64, n*samples)
+	gotFaults := batchM.MeasureBatch(ops, 1, samples, got)
+
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("measurement %d differs: loop %v, batch %v", i, want[i], got[i])
+		}
+	}
+	if wantFaults != gotFaults {
+		t.Fatalf("fault counts differ: loop %d, batch %d", wantFaults, gotFaults)
+	}
+	if loopM.RDTSC() != batchM.RDTSC() {
+		t.Fatalf("clocks differ: loop %d, batch %d", loopM.RDTSC(), batchM.RDTSC())
+	}
+	if loopM.Counters != batchM.Counters {
+		t.Fatal("performance counters differ between loop and batch")
+	}
+}
+
+// ExecMaskedBatch must be the plain batched form of ExecMasked.
+func TestExecMaskedBatchMatchesLoop(t *testing.T) {
+	a := New(uarch.AlderLake12400F(), 5)
+	b := New(uarch.AlderLake12400F(), 5)
+	if err := a.MapUser(0x7e0000000000, 16*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.MapUser(0x7e0000000000, 16*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(48)
+	want := make([]Result, len(ops))
+	for i, op := range ops {
+		want[i] = a.ExecMasked(op)
+	}
+	got := make([]Result, len(ops))
+	b.ExecMaskedBatch(ops, got)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("result %d differs: loop %+v, batch %+v", i, want[i], got[i])
+		}
+	}
+	if a.RDTSC() != b.RDTSC() {
+		t.Fatal("clocks differ after batch exec")
+	}
+}
+
+// The batched measurement path must stay allocation-free — it is the inner
+// loop of every sharded sweep.
+func TestMeasureBatchZeroAlloc(t *testing.T) {
+	m := New(uarch.IceLake1065G7(), 1)
+	if err := m.MapUser(0x7e0000000000, 16*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(32)
+	out := make([]float64, len(ops))
+	if n := testing.AllocsPerRun(200, func() { m.MeasureBatch(ops, 1, 1, out) }); n > 0 {
+		t.Errorf("MeasureBatch: %v allocs/op, want 0", n)
+	}
+}
+
+// SwapNoise must route measurement noise through the caller's stream and
+// restore cleanly: two machines measuring the same op sequence, one
+// through swapped-in sources and one through ReseedNoise, see identical
+// values — and ReseedNoise must always reinstate the machine-owned stream.
+func TestSwapNoiseStreams(t *testing.T) {
+	build := func() *Machine {
+		m := New(uarch.IceLake1065G7(), 11)
+		if err := m.MapUser(0x7e0000000000, 8*paging.Page4K, paging.Writable); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	op := avx.MaskedLoad(0x7e0000000000, avx.ZeroMask)
+
+	ref := build()
+	var want []float64
+	for _, seed := range []uint64{100, 200, 100} {
+		ref.ReseedNoise(seed)
+		for i := 0; i < 8; i++ {
+			v, _ := ref.Measure(op)
+			want = append(want, v)
+		}
+	}
+
+	m := build()
+	var a, b rng.Source
+	a.Reseed(100)
+	b.Reseed(200)
+	var got []float64
+	orig := m.SwapNoise(&a)
+	for i := 0; i < 8; i++ {
+		v, _ := m.Measure(op)
+		got = append(got, v)
+	}
+	m.SwapNoise(&b)
+	for i := 0; i < 8; i++ {
+		v, _ := m.Measure(op)
+		got = append(got, v)
+	}
+	m.SwapNoise(&a)
+	a.Reseed(100)
+	for i := 0; i < 8; i++ {
+		v, _ := m.Measure(op)
+		got = append(got, v)
+	}
+	m.SwapNoise(orig)
+
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("swapped-stream measurement %d differs: %v vs %v", i, want[i], got[i])
+		}
+	}
+	// ReseedNoise restores the machine-owned stream even after swaps.
+	m.ReseedNoise(300)
+	ref.ReseedNoise(300)
+	v1, _ := m.Measure(op)
+	v2, _ := ref.Measure(op)
+	if v1 != v2 {
+		t.Fatal("ReseedNoise did not reinstate the machine-owned stream")
+	}
+}
+
+// The flat PFN backing must behave exactly like the old map: lazily
+// created frames, data round-trips, clone isolation, and an array-op clear
+// on Rebind.
+func TestFlatBackingSemantics(t *testing.T) {
+	m := New(uarch.AlderLake12400F(), 3)
+	if err := m.MapUser(0x7e0000000000, 4*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteUser(0x7e0000000123, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadUser(0x7e0000000123, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string([]byte{1, 2, 3, 4}) {
+		t.Fatalf("backing round-trip failed: %v", got)
+	}
+
+	// A clone starts with an empty write shadow of its own.
+	c := m.Clone(9)
+	if data, err := c.ReadUser(0x7e0000000123, 4); err != nil || data[0] != 0 {
+		t.Fatalf("clone inherited the parent's write shadow: %v, %v", data, err)
+	}
+	if err := c.WriteUser(0x7e0000000123, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := m.ReadUser(0x7e0000000123, 1); data[0] != 1 {
+		t.Fatal("clone write leaked into the parent's backing")
+	}
+
+	// Rebind clears the replica's shadow in place.
+	c.Rebind(m)
+	if data, err := c.ReadUser(0x7e0000000123, 1); err != nil || data[0] != 0 {
+		t.Fatalf("Rebind did not clear the write shadow: %v, %v", data, err)
+	}
+}
+
+// Steady-state frame writes must not allocate once the frame exists, and
+// repeated Rebind must not reallocate the backing slice.
+func TestFlatBackingSteadyStateAllocs(t *testing.T) {
+	m := New(uarch.AlderLake12400F(), 7)
+	if err := m.MapUser(0x7e0000000000, 4*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte{42}
+	if err := m.WriteUser(0x7e0000000000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := m.WriteUser(0x7e0000000000, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("steady-state frame write allocates %.1f/op, want 0", n)
+	}
+	c := m.Clone(1)
+	if err := c.WriteUser(0x7e0000000000, buf); err != nil {
+		t.Fatal(err)
+	}
+	c.Rebind(m)
+	if n := testing.AllocsPerRun(50, func() { c.Rebind(m) }); n > 0 {
+		t.Errorf("Rebind allocates %.1f/op with a warm backing slice, want 0", n)
+	}
+}

@@ -49,10 +49,19 @@ type Machine struct {
 	// InEnclave applies the SGX per-probe overhead when true.
 	InEnclave bool
 
-	tsc     uint64
-	seed    uint64
-	noise   *rng.Source
-	backing map[phys.PFN]*[phys.FrameSize]byte
+	tsc  uint64
+	seed uint64
+	// noise is the measurement-noise stream Measure draws from. ownNoise is
+	// the machine's own source backing it; SwapNoise can temporarily point
+	// noise at a caller-owned stream (the fused user scan drives separate
+	// load and store streams per chunk) without disturbing ownNoise.
+	noise    *rng.Source
+	ownNoise rng.Source
+	// backing is the write shadow of user frames, a dense slice indexed by
+	// PFN (flat array lookup on the data-movement path; clearing it on
+	// Rebind/Unbind is one array op). Grown lazily to the highest frame
+	// actually written, so an idle machine carries no backing at all.
+	backing []*[phys.FrameSize]byte
 
 	visitBuf []phys.PFN
 	elemBuf  [8]uint32
@@ -88,9 +97,9 @@ func New(p *uarch.Preset, seed uint64) *Machine {
 		PSC:      tlb.NewPSC(),
 		PTELines: ptecache.New(1024, 8),
 		seed:     seed,
-		noise:    rng.New(seed),
-		backing:  make(map[phys.PFN]*[phys.FrameSize]byte),
 	}
+	m.ownNoise.Reseed(seed)
+	m.noise = &m.ownNoise
 	m.initHotPath()
 	return m
 }
@@ -154,9 +163,9 @@ func (m *Machine) Clone(noiseSeed uint64) *Machine {
 		InEnclave: m.InEnclave,
 		tsc:       m.tsc,
 		seed:      noiseSeed,
-		noise:     rng.New(noiseSeed),
-		backing:   make(map[phys.PFN]*[phys.FrameSize]byte),
 	}
+	c.ownNoise.Reseed(noiseSeed)
+	c.noise = &c.ownNoise
 	c.PSC.Enabled = m.PSC.Enabled
 	c.initHotPath()
 	return c
@@ -206,10 +215,28 @@ func (m *Machine) Unbind() {
 	clear(m.backing)
 }
 
-// ReseedNoise restarts the measurement-noise stream from seed. The scan
-// engine reseeds per VA chunk so a chunk's measurements depend only on the
-// chunk, not on which worker ran it or in what order.
-func (m *Machine) ReseedNoise(seed uint64) { m.noise = rng.New(seed) }
+// ReseedNoise restarts the measurement-noise stream from seed, in place and
+// allocation-free. The scan engine reseeds per VA chunk so a chunk's
+// measurements depend only on the chunk, not on which worker ran it or in
+// what order. If a caller-owned stream was installed with SwapNoise, the
+// machine's own stream is restored first.
+func (m *Machine) ReseedNoise(seed uint64) {
+	m.ownNoise.Reseed(seed)
+	m.noise = &m.ownNoise
+}
+
+// SwapNoise installs src as the measurement-noise stream and returns the
+// previously installed one. Callers that interleave several deterministic
+// streams within one chunk (the fused user scan draws load and store noise
+// from separate per-chunk streams so its measurements replicate regardless
+// of how many pages each sub-pass probes) swap their own sources in and out
+// around each sub-probe; the machine's own stream is untouched and comes
+// back on the next ReseedNoise.
+func (m *Machine) SwapNoise(src *rng.Source) *rng.Source {
+	old := m.noise
+	m.noise = src
+	return old
+}
 
 // ResetTranslationState empties the TLB, the paging-structure caches and
 // the PTE-line cache without charging attacker time (a simulator-level
@@ -415,27 +442,46 @@ func (m *Machine) ExecMasked(op avx.Op) Result {
 		}
 	}
 
-	out := avx.EvaluateBuf(op, m.stateFn, m.dirtyFn, m.movedBuf[:0])
-	if out.Suppressed > 0 {
-		m.Counters.Add(perf.FaultSuppressed, uint64(out.Suppressed))
-	}
-	if out.Assist {
-		r.Assist = true
-		m.Counters.Inc(perf.AssistsAny)
-		if out.Fault {
-			// The assist resolves into a delivered fault.
-			r.Faulted = true
-			m.Counters.Inc(perf.PageFault)
-			r.Cycles += m.Preset.FaultCost
-		} else {
-			r.Cycles += m.assistCost(op)
+	if op.Mask == 0 && m.scratchN == 1 {
+		// Fast path for the probing workhorse: an all-suppressed op on a
+		// single page never faults and moves no data, so the full masked-op
+		// evaluation (per-element mask/page intersection through the
+		// EvaluateBuf closures) collapses to one page-state check. The
+		// outcome — suppressed-fault count, assist kind, counters, cost —
+		// is exactly what EvaluateBuf+assistCost produce for this shape.
+		if !walkState(&m.scratchPI[0].walk).Accessible(op.Store) {
+			m.Counters.Add(perf.FaultSuppressed, uint64(op.NumElems()))
+			r.Assist = true
+			m.Counters.Inc(perf.AssistsAny)
+			if op.Store {
+				r.Cycles += m.Preset.AssistStore
+			} else {
+				r.Cycles += m.Preset.AssistLoad
+			}
 		}
-	}
+	} else {
+		out := avx.EvaluateBuf(op, m.stateFn, m.dirtyFn, m.movedBuf[:0])
+		if out.Suppressed > 0 {
+			m.Counters.Add(perf.FaultSuppressed, uint64(out.Suppressed))
+		}
+		if out.Assist {
+			r.Assist = true
+			m.Counters.Inc(perf.AssistsAny)
+			if out.Fault {
+				// The assist resolves into a delivered fault.
+				r.Faulted = true
+				m.Counters.Inc(perf.PageFault)
+				r.Cycles += m.Preset.FaultCost
+			} else {
+				r.Cycles += m.assistCost(op)
+			}
+		}
 
-	// Perform the architectural data movement and A/D updates for the
-	// elements that actually moved.
-	if !r.Faulted && len(out.MovedElems) > 0 {
-		m.moveData(op, out.MovedElems, &r)
+		// Perform the architectural data movement and A/D updates for the
+		// elements that actually moved.
+		if !r.Faulted && len(out.MovedElems) > 0 {
+			m.moveData(op, out.MovedElems, &r)
+		}
 	}
 	if m.InEnclave {
 		r.Cycles += m.Preset.SGXProbeOverhead
@@ -520,7 +566,20 @@ func (m *Machine) refreshTLBFlags(page paging.VirtAddr, w paging.Walk) {
 func (m *Machine) SetVector(vals [8]uint32) { m.elemBuf = vals }
 
 // frameData returns (lazily creating) the byte backing of a user frame.
+// The backing slice is indexed directly by PFN and grown to the highest
+// written frame: user frames are handed out by the bump allocator early in
+// a machine's life, so the slice stays small and lookups are one bounds
+// check and one load instead of a map probe.
 func (m *Machine) frameData(pfn phys.PFN) *[phys.FrameSize]byte {
+	if int(pfn) >= len(m.backing) {
+		n := int(pfn) + 1
+		if n < 2*len(m.backing) {
+			n = 2 * len(m.backing) // amortize growth as PFNs climb
+		}
+		grown := make([]*[phys.FrameSize]byte, n)
+		copy(grown, m.backing)
+		m.backing = grown
+	}
 	b := m.backing[pfn]
 	if b == nil {
 		b = new([phys.FrameSize]byte)
@@ -535,7 +594,8 @@ func (m *Machine) ReadUser(va paging.VirtAddr, n int) ([]byte, error) {
 	out := make([]byte, 0, n)
 	for n > 0 {
 		page := paging.PageBase(va, paging.Page4K)
-		w := m.UserAS.Translate(page, nil)
+		w := m.UserAS.Translate(page, m.visitBuf)
+		m.visitBuf = w.Visited
 		if !w.Mapped || !w.Flags.Has(paging.User) {
 			return nil, fmt.Errorf("machine: read of unmapped user address %#x", uint64(va))
 		}
@@ -556,7 +616,8 @@ func (m *Machine) ReadUser(va paging.VirtAddr, n int) ([]byte, error) {
 func (m *Machine) WriteUser(va paging.VirtAddr, data []byte) error {
 	for len(data) > 0 {
 		page := paging.PageBase(va, paging.Page4K)
-		w := m.UserAS.Translate(page, nil)
+		w := m.UserAS.Translate(page, m.visitBuf)
+		m.visitBuf = w.Visited
 		if !w.Mapped || !w.Flags.Has(paging.User) {
 			return fmt.Errorf("machine: write of unmapped user address %#x", uint64(va))
 		}
@@ -589,7 +650,12 @@ func (m *Machine) Measure(op avx.Op) (float64, Result) {
 
 // noiseSample draws one measurement-noise value.
 func (m *Machine) noiseSample() float64 {
-	sigma := m.Preset.NoiseSigma + m.Preset.ExtraNoiseSigma
+	return m.noiseSampleSigma(m.Preset.NoiseSigma + m.Preset.ExtraNoiseSigma)
+}
+
+// noiseSampleSigma is noiseSample with the composed sigma hoisted out, so
+// batched measurement loops compose it once per batch.
+func (m *Machine) noiseSampleSigma(sigma float64) float64 {
 	n := m.noise.Normal(0, sigma)
 	if m.noise.Bool(m.Preset.OutlierProb) {
 		spike := m.noise.Pareto(m.Preset.OutlierScale, 1.7)

@@ -26,6 +26,14 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
+// Reseed restarts the Source from seed in place, producing the identical
+// stream to New(seed) without allocating. The Source carries no hidden
+// state beyond the SplitMix64 counter (Normal discards its second variate
+// rather than caching it), so an in-place reseed is exactly a fresh Source.
+func (s *Source) Reseed(seed uint64) {
+	s.state = seed
+}
+
 // Split derives an independent child Source. The child's stream is
 // statistically independent from the parent's subsequent output, so
 // subsystems can be seeded from a single experiment seed without

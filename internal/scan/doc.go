@@ -21,6 +21,31 @@
 // store pass skips pages its load pass read as unmapped — without
 // consuming probes or noise.
 //
+// # Batched probe pipeline
+//
+// A worker that implements BatchWorker receives whole chunks instead of
+// one Probe call per index: the engine hands it the chunk's index range
+// and the preallocated per-shard windows of the shared result slices, and
+// the worker writes verdicts and measurements straight into them. The core
+// workers feed such chunks to Prober.ProbeBatch, which turns the chunk
+// into one masked-op slice for machine.MeasureBatch — the double-execution
+// sequence per VA is unchanged (warm-up, measured runs, noise, reduction),
+// but op plumbing, noise-sigma composition and reduction setup are paid
+// once per chunk instead of once per sample, and all scratch lives on the
+// (pooled) prober, so a steady-state batched sweep allocates nothing per
+// probe and scan cost stops growing with the worker count. Batched and
+// per-index execution are bit-identical by contract.
+//
+// A verdict need not come from a single measurement: the fused §IV-F user
+// scan probes each chunk twice (a load sub-pass over every page, then a
+// store sub-pass over the pages the loads read as mapped) and emits one
+// PermClass verdict per VA from the pair — one sweep where two serialized
+// sweeps used to run. Such workers implement Healer so the healing pass
+// re-derives the multi-channel verdict instead of min-merging a single
+// cycles value, and they draw each sub-pass's noise from its own
+// chunk-seeded stream (machine.SwapNoise), so a page's store noise does
+// not depend on how many earlier pages were mapped.
+//
 // # Worker pool
 //
 // Creating a worker is the expensive part of a scan (Machine.Clone builds
@@ -29,8 +54,9 @@
 // Worker factories draw replicas from the pool and return them after the
 // merge, and a reused replica is re-synced to its current parent with
 // Machine.Rebind (structure reuse, zero allocations) instead of
-// re-cloned. Concurrent scans may share one pool; each replica is handed
-// to exactly one scan at a time.
+// re-cloned. The core pools whole calibrated probers, so batch scratch
+// buffers survive across scans too. Concurrent scans may share one pool;
+// each replica is handed to exactly one scan at a time.
 //
 // # Determinism
 //

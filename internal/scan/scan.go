@@ -40,6 +40,33 @@ type Worker[V comparable] interface {
 	Elapsed() uint64
 }
 
+// BatchWorker is a Worker that probes whole chunks at once. When a worker
+// implements it, the engine hands it the chunk's index range and the
+// preallocated result windows (verdicts[i-lo], cycles[i-lo] for index i)
+// instead of driving one Probe call per index, so the worker can amortize
+// per-probe overhead across the chunk (core feeds such chunks to
+// machine.MeasureBatch). A ProbeChunk implementation must be bit-identical
+// to the per-index Probe loop — same machine operations, same noise draws,
+// same verdicts — including honoring skip: a skipped index gets verdict
+// skipV, zero cycles, and must consume no probe and no noise. The engine's
+// healing pass still uses per-index Probe/Classify.
+type BatchWorker[V comparable] interface {
+	Worker[V]
+	ProbeChunk(start paging.VirtAddr, stride uint64, lo, hi int,
+		skip func(i int) bool, skipV V, verdicts []V, cycles []float64)
+}
+
+// Healer lets a worker take over the healing re-probe of one index. The
+// default heal merges the minimum of HealSamples re-measurements with the
+// first-pass value and re-classifies — correct for single-measurement
+// verdicts, but a fused probe (load + store classification per VA) cannot
+// re-derive its verdict from one cycles channel. HealProbe receives the
+// first-pass outcome and returns the healed one; it runs single-threaded in
+// ascending index order on the heal stream, like the default pass.
+type Healer[V comparable] interface {
+	HealProbe(va paging.VirtAddr, samples int, cycles float64, v V) (float64, V)
+}
+
 // Factory builds the worker for one shard. It is called sequentially from
 // the scanning goroutine before any worker runs, so implementations may
 // clone machines (or draw replicas from a Pool) without locking.
@@ -138,6 +165,7 @@ func (e *Engine[V]) Scan(start paging.VirtAddr, n int, stride uint64) Result[V] 
 		wg.Add(1)
 		go func(wk Worker[V]) {
 			defer wg.Done()
+			bw, batched := wk.(BatchWorker[V])
 			var local uint64
 			for {
 				c := int(next.Add(1)) - 1
@@ -150,14 +178,21 @@ func (e *Engine[V]) Scan(start paging.VirtAddr, n int, stride uint64) Result[V] 
 					hi = n
 				}
 				wk.Start(StreamSeed(e.cfg.Seed, uint64(c)))
-				for i := lo; i < hi; i++ {
-					if e.skip != nil && e.skip(i) {
-						res.Verdicts[i] = e.skipV
-						continue
+				if batched {
+					// The worker owns the whole chunk: it writes straight
+					// into its disjoint window of the shared result slices.
+					bw.ProbeChunk(start, stride, lo, hi, e.skip, e.skipV,
+						res.Verdicts[lo:hi], res.Cycles[lo:hi])
+				} else {
+					for i := lo; i < hi; i++ {
+						if e.skip != nil && e.skip(i) {
+							res.Verdicts[i] = e.skipV
+							continue
+						}
+						s := wk.Probe(start + paging.VirtAddr(uint64(i)*stride))
+						res.Cycles[i] = s.Cycles
+						res.Verdicts[i] = s.Verdict
 					}
-					s := wk.Probe(start + paging.VirtAddr(uint64(i)*stride))
-					res.Cycles[i] = s.Cycles
-					res.Verdicts[i] = s.Verdict
 				}
 				local += wk.Elapsed()
 			}
@@ -186,6 +221,7 @@ func (e *Engine[V]) Scan(start paging.VirtAddr, n int, stride uint64) Result[V] 
 // neither healed nor re-probed.
 func (e *Engine[V]) heal(res *Result[V], start paging.VirtAddr, n int, stride uint64, w Worker[V]) {
 	w.Start(StreamSeed(e.cfg.Seed, uint64(res.Chunks)+1))
+	healer, custom := w.(Healer[V])
 	for i := 0; i < n; i++ {
 		if e.skip != nil && e.skip(i) {
 			continue
@@ -196,6 +232,13 @@ func (e *Engine[V]) heal(res *Result[V], start paging.VirtAddr, n int, stride ui
 			continue
 		}
 		va := start + paging.VirtAddr(uint64(i)*stride)
+		if custom {
+			// Multi-measurement verdicts (the fused user scan) re-probe and
+			// re-classify themselves.
+			res.Cycles[i], res.Verdicts[i] = healer.HealProbe(va, e.cfg.HealSamples, res.Cycles[i], res.Verdicts[i])
+			res.Healed++
+			continue
+		}
 		best := res.Cycles[i]
 		for s := 0; s < e.cfg.HealSamples; s++ {
 			if pr := w.Probe(va); pr.Cycles < best {

@@ -292,3 +292,112 @@ func ExampleEngine_Scan() {
 	fmt.Println(res.Verdicts)
 	// Output: [false false true true true true false false]
 }
+
+// batchWorker drives the same deterministic probe model as classWorker
+// through the chunk-granular BatchWorker path, recording that the engine
+// actually handed it whole chunks.
+type batchWorker struct {
+	classWorker
+	chunks int
+}
+
+func (w *batchWorker) ProbeChunk(start paging.VirtAddr, stride uint64, lo, hi int,
+	skip func(int) bool, skipV int, verdicts []int, cycles []float64) {
+	w.chunks++
+	for i := lo; i < hi; i++ {
+		if skip != nil && skip(i) {
+			verdicts[i-lo] = skipV
+			continue
+		}
+		s := w.Probe(start + paging.VirtAddr(uint64(i)*stride))
+		cycles[i-lo] = s.Cycles
+		verdicts[i-lo] = s.Verdict
+	}
+}
+
+// A BatchWorker whose ProbeChunk replays the per-index probe loop must
+// produce output bit-identical to the per-index Worker at every worker
+// count — including skip handling and the (per-index) healing pass.
+func TestScanBatchWorkerMatchesPerIndex(t *testing.T) {
+	start := paging.VirtAddr(0x1000000)
+	lo := start + paging.VirtAddr(50*testStride)
+	hi := start + paging.VirtAddr(400*testStride)
+	skip := func(i int) bool { return i%7 == 3 }
+	run := func(workers int, batched bool) Result[int] {
+		eng := New(Config{Workers: workers, ChunkPages: 64, Seed: 23}, func(id int) Worker[int] {
+			if batched {
+				return &batchWorker{classWorker: classWorker{detWorker{mappedLo: lo, mappedHi: hi}}}
+			}
+			return &classWorker{detWorker{mappedLo: lo, mappedHi: hi}}
+		})
+		eng.SetSkip(skip, 0)
+		return eng.Scan(start, 500, testStride)
+	}
+	want := run(1, false)
+	for _, w := range []int{1, 2, 8} {
+		got := run(w, true)
+		if !reflect.DeepEqual(want.Verdicts, got.Verdicts) || !reflect.DeepEqual(want.Cycles, got.Cycles) {
+			t.Fatalf("workers=%d: batched scan differs from per-index scan", w)
+		}
+		if want.SimCycles != got.SimCycles {
+			t.Fatalf("workers=%d: batched SimCycles %d != per-index %d", w, got.SimCycles, want.SimCycles)
+		}
+	}
+	// The batch path must actually be exercised.
+	probe := &batchWorker{classWorker: classWorker{detWorker{mappedLo: lo, mappedHi: hi}}}
+	eng := New(Config{Workers: 1, ChunkPages: 64, Seed: 23}, func(id int) Worker[int] { return probe })
+	eng.Scan(start, 500, testStride)
+	if probe.chunks != (500+63)/64 {
+		t.Fatalf("ProbeChunk ran for %d chunks, want %d", probe.chunks, (500+63)/64)
+	}
+}
+
+// healerWorker plants one first-probe misread (like healWorker) and takes
+// over its repair through the Healer hook.
+type healerWorker struct {
+	classWorker
+	flipVA paging.VirtAddr
+	first  bool
+	healed []paging.VirtAddr
+}
+
+func (w *healerWorker) Probe(va paging.VirtAddr) Sample[int] {
+	s := w.classWorker.Probe(va)
+	if va == w.flipVA && !w.first {
+		w.first = true
+		s.Cycles, s.Verdict = 150, 1
+	}
+	return s
+}
+
+func (w *healerWorker) HealProbe(va paging.VirtAddr, samples int, cycles float64, v int) (float64, int) {
+	w.healed = append(w.healed, va)
+	best := cycles
+	for s := 0; s < samples; s++ {
+		if pr := w.Probe(va); pr.Cycles < best {
+			best = pr.Cycles
+		}
+	}
+	return best, w.Classify(best)
+}
+
+// When a worker implements Healer, the engine's healing pass must route
+// disagreeing indices through HealProbe (which can re-derive multi-channel
+// verdicts) instead of the default min-merge, and the repair must land.
+func TestScanHealerHookRepairsMisread(t *testing.T) {
+	start := paging.VirtAddr(0x1000000)
+	lo, hi := start, start+paging.VirtAddr(1000*testStride)
+	flip := start + paging.VirtAddr(40*testStride)
+	w := &healerWorker{classWorker: classWorker{detWorker{mappedLo: lo, mappedHi: hi}}, flipVA: flip}
+	eng := New(Config{Workers: 1, ChunkPages: 64, Seed: 31}, func(id int) Worker[int] { return w })
+	res := eng.Scan(start, 200, testStride)
+	if len(w.healed) == 0 {
+		t.Fatal("Healer hook never invoked for the planted misread")
+	}
+	if res.Verdicts[40] != 2 {
+		t.Fatalf("planted misread not repaired: verdict %d", res.Verdicts[40])
+	}
+	if res.Healed == 0 {
+		t.Fatal("Healed count not recorded for Healer-hook repairs")
+	}
+}

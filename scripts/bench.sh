@@ -7,10 +7,16 @@
 # suite (minutes).
 set -eu
 
-pattern="${1:-BenchmarkScan|BenchmarkUserScan|BenchmarkTermSweep|BenchmarkExecMasked|BenchmarkProbeMapped}"
+pattern="${1:-BenchmarkScan|BenchmarkUserScan|BenchmarkTermSweep|BenchmarkExecMasked|BenchmarkProbeMapped|BenchmarkProbeBatch}"
 out="BENCH_scan.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
+
+# Host shape: worker-scaling numbers are meaningless without knowing how
+# many cores the run actually had (PR containers are often single-core, so
+# flat scaling there is expected, not a regression).
+num_cpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+gomaxprocs="${GOMAXPROCS:-$num_cpu}"
 
 # Pre-flight: numbers from a racy engine are worthless. The race detector
 # over the full tree catches replica-state leaks between pooled scans and
@@ -21,7 +27,8 @@ go test -race ./...
 go test -bench="$pattern" -benchmem -run='^$' . | tee "$raw"
 
 # Parse `BenchmarkName  N  123 ns/op  [value unit]...` lines into JSON.
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v pattern="$pattern" '
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v pattern="$pattern" \
+    -v num_cpu="$num_cpu" -v gomaxprocs="$gomaxprocs" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; iters = $2
@@ -37,7 +44,8 @@ BEGIN { n = 0 }
     n++
 }
 END {
-    printf "{\"date\":\"%s\",\"pattern\":\"%s\",\"benchmarks\":[%s]}\n", date, pattern, benches
+    printf "{\"date\":\"%s\",\"pattern\":\"%s\",\"num_cpu\":%d,\"gomaxprocs\":%d,\"benchmarks\":[%s]}\n", \
+        date, pattern, num_cpu, gomaxprocs, benches
 }' "$raw" >> "$out"
 
 echo "appended $(grep -c '^Benchmark' "$raw" || true) benchmark results to $out"

@@ -1,0 +1,69 @@
+#!/bin/sh
+# bench_compare.sh [file] — diff the last two entries of BENCH_scan.json
+# (newline-delimited JSON, one object per bench.sh run) per benchmark and
+# warn when probes/s dropped by more than 10%.
+#
+# Interpreting a warning: check the num_cpu/gomaxprocs fields first — a
+# "regression" between an 8-core host and a 1-core PR container is just the
+# host, not the code. Exit status is 0 unless STRICT=1 is set, in which
+# case any real regression fails the run.
+set -eu
+
+file="${1:-BENCH_scan.json}"
+if [ ! -f "$file" ]; then
+    echo "bench_compare: $file not found (run make bench first)" >&2
+    exit 1
+fi
+if [ "$(wc -l < "$file")" -lt 2 ]; then
+    echo "bench_compare: need at least two runs in $file to compare" >&2
+    exit 0
+fi
+
+tail -n 2 "$file" | awk -v strict="${STRICT:-0}" '
+# Pull one scalar field out of a JSON object string.
+function field(s, key,    re, v) {
+    re = "\"" key "\":[^,}]*"
+    if (match(s, re) == 0) return ""
+    v = substr(s, RSTART, RLENGTH)
+    sub("\"" key "\":", "", v)
+    gsub(/"/, "", v)
+    return v
+}
+{
+    line[NR] = $0
+    n = split($0, parts, /\{"name":/)
+    for (i = 2; i <= n; i++) {
+        obj = parts[i]
+        name = obj
+        sub(/^"/, "", name)
+        sub(/".*/, "", name) # cut at the closing quote of the name
+        val = field(obj, "probes/s")
+        if (val != "") rate[NR, name] = val
+        ns = field(obj, "ns/op")
+        if (ns != "") nsop[NR, name] = ns
+        if (NR == 2) names[name] = 1
+    }
+    cpu[NR] = field($0, "num_cpu")
+    date[NR] = field($0, "date")
+}
+END {
+    printf "comparing %s (cpus=%s) -> %s (cpus=%s)\n", date[1], cpu[1], date[2], cpu[2]
+    worst = 0
+    for (name in names) {
+        if (!((1, name) in rate) || rate[1, name] == 0) continue
+        old = rate[1, name]; new = rate[2, name]
+        pct = 100 * (new - old) / old
+        mark = ""
+        if (pct < -10) { mark = "  <-- REGRESSION"; bad++ }
+        if (pct < worst) worst = pct
+        printf "  %-40s %12.0f -> %12.0f probes/s  (%+6.1f%%)%s\n", name, old, new, pct, mark
+    }
+    if (bad > 0) {
+        printf "bench_compare: %d benchmark(s) regressed >10%% in probes/s (worst %.1f%%)\n", bad, worst
+        if (cpu[1] != cpu[2])
+            printf "bench_compare: note: core count changed (%s -> %s); host change, not code?\n", cpu[1], cpu[2]
+        if (strict == 1) exit 1
+    } else {
+        print "bench_compare: no probes/s regression >10%"
+    }
+}'
