@@ -3,7 +3,9 @@
 #   make vet       - go vet
 #   make test      - tier-1 (go build ./... && go test ./...)
 #   make test-race - the full suite under the race detector (catches
-#                    replica-state leaks between pooled/concurrent scans)
+#                    replica-state leaks between pooled/concurrent scans
+#                    and scheduler races in the service layer)
+#   make ci        - what CI runs: vet + tier-1 + the race-parity suite
 #   make bench     - vet + tier-1 + race + the scan-engine benchmarks;
 #                    appends the parsed results to BENCH_scan.json so the
 #                    perf trajectory is tracked across PRs
@@ -11,12 +13,17 @@
 #   make bench-compare - diff the last two BENCH_scan.json entries and warn
 #                    on >10% probes/s regressions (STRICT=1 to fail on one;
 #                    check the recorded num_cpu before blaming the code)
+#   make load      - run the scand load generator (mixed attack scenarios
+#                    through the service scheduler) and append a jobs/s +
+#                    p50/p99 latency entry to BENCH_scan.json
 
 GO ?= go
 
-.PHONY: all vet test test-race bench bench-all bench-compare
+.PHONY: all vet test test-race ci bench bench-all bench-compare load
 
 all: vet test
+
+ci: vet test test-race
 
 vet:
 	$(GO) vet ./...
@@ -36,3 +43,6 @@ bench-all: vet test
 
 bench-compare:
 	./scripts/bench_compare.sh
+
+load:
+	$(GO) run ./cmd/scand -load -scan-workers 2

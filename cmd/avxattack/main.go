@@ -15,8 +15,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -34,91 +36,117 @@ import (
 )
 
 func main() {
-	attack := flag.String("attack", "base", "base|modules|kpti|windows|kvas|behavior|sgx|cloud")
-	cpu := flag.String("cpu", "12400F", "CPU preset name substring")
-	seed := flag.Uint64("seed", 1, "victim boot / experiment seed")
-	kpti := flag.Bool("kpti", false, "boot the victim with KPTI")
-	flare := flag.Bool("flare", false, "boot the victim with FLARE dummy mappings")
-	trampoline := flag.Uint64("trampoline", linux.DefaultTrampolineOffset, "KPTI trampoline offset (attacker knowledge)")
-	duration := flag.Float64("duration", 100, "behavior-spy observation window in seconds")
-	entropy := flag.Int("entropy", 16, "user-ASLR entropy bits for the sgx attack (paper: 28)")
-	provider := flag.String("provider", "ec2", "cloud provider: ec2|gce|azure")
-	workers := flag.Int("workers", 0, "scan-engine workers for the VA sweeps (0 = sequential, negative = all CPUs)")
-	list := flag.Bool("list", false, "list CPU presets and exit")
-	flag.Parse()
+	os.Exit(newApp(os.Stdout, os.Stderr).run(os.Args[1:]))
+}
 
-	scanWorkers = *workers
+// app carries one CLI invocation's configuration and output streams — the
+// run logic lives on it so tests can drive the command without a process.
+type app struct {
+	out, errw io.Writer
+
+	// workers is the -workers flag value: worker replicas for the sharded
+	// scan engine (0 runs the engine inline, sequentially; negative means
+	// all CPUs, normalized by the prober options).
+	workers int
+	// pool is the session's worker pool: constructed once per CLI run, so
+	// every scan an attack performs reuses the same machine replicas
+	// instead of re-cloning them (output is bit-identical either way).
+	pool *core.ScanPool
+}
+
+func newApp(out, errw io.Writer) *app {
+	return &app{out: out, errw: errw, pool: core.NewScanPool()}
+}
+
+// proberOptions returns the prober configuration the CLI attacks share.
+func (a *app) proberOptions() core.Options {
+	return core.Options{Workers: a.workers, Pool: a.pool}
+}
+
+// run parses args, mounts the selected attack and returns the exit code.
+func (a *app) run(args []string) int {
+	fs := flag.NewFlagSet("avxattack", flag.ContinueOnError)
+	fs.SetOutput(a.errw)
+	attack := fs.String("attack", "base", "base|modules|kpti|windows|kvas|behavior|sgx|cloud")
+	cpu := fs.String("cpu", "12400F", "CPU preset name substring")
+	seed := fs.Uint64("seed", 1, "victim boot / experiment seed")
+	kpti := fs.Bool("kpti", false, "boot the victim with KPTI")
+	flare := fs.Bool("flare", false, "boot the victim with FLARE dummy mappings")
+	trampoline := fs.Uint64("trampoline", linux.DefaultTrampolineOffset, "KPTI trampoline offset (attacker knowledge)")
+	duration := fs.Float64("duration", 100, "behavior-spy observation window in seconds")
+	entropy := fs.Int("entropy", 16, "user-ASLR entropy bits for the sgx attack (paper: 28)")
+	provider := fs.String("provider", "ec2", "cloud provider: ec2|gce|azure")
+	workers := fs.Int("workers", 0, "scan-engine workers for the VA sweeps (0 = sequential, negative = all CPUs)")
+	list := fs.Bool("list", false, "list CPU presets and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	a.workers = *workers
 
 	if *list {
 		for _, p := range uarch.All() {
-			fmt.Printf("%-36s %-8s %-6s %.1f GHz\n", p.Name, p.Setting, p.Launch, p.TSCGHz)
+			fmt.Fprintf(a.out, "%-36s %-8s %-6s %.1f GHz\n", p.Name, p.Setting, p.Launch, p.TSCGHz)
 		}
-		return
+		return 0
 	}
 
 	preset := uarch.ByName(*cpu)
 	if preset == nil {
-		fail("no CPU preset matches %q (use -list)", *cpu)
+		return a.fail("no CPU preset matches %q (use -list)", *cpu)
 	}
 
+	var err error
 	switch *attack {
 	case "base":
-		runBase(preset, *seed, *kpti, *flare)
+		err = a.runBase(preset, *seed, *kpti, *flare)
 	case "modules":
-		runModules(preset, *seed)
+		err = a.runModules(preset, *seed)
 	case "kpti":
-		runKPTI(preset, *seed, *trampoline)
+		err = a.runKPTI(preset, *seed, *trampoline)
 	case "windows":
-		runWindows(preset, *seed)
+		err = a.runWindows(preset, *seed)
 	case "kvas":
-		runKVAS(preset, *seed)
+		err = a.runKVAS(preset, *seed)
 	case "behavior":
-		runBehavior(preset, *seed, *duration)
+		err = a.runBehavior(preset, *seed, *duration)
 	case "sgx":
-		runSGX(preset, *seed, *entropy)
+		err = a.runSGX(preset, *seed, *entropy)
 	case "cloud":
-		runCloud(*provider, *seed)
+		err = a.runCloud(*provider, *seed)
 	default:
-		fail("unknown attack %q", *attack)
+		return a.fail("unknown attack %q", *attack)
 	}
+	if err != nil {
+		return a.fail("%v", err)
+	}
+	return 0
 }
 
-// scanWorkers is the -workers flag value: worker replicas for the sharded
-// scan engine (0 runs the engine inline, sequentially; negative means all
-// CPUs, normalized by the prober options).
-var scanWorkers int
-
-// scanPool is the session's worker pool: constructed once per CLI run, so
-// every scan an attack performs reuses the same machine replicas instead
-// of re-cloning them (output is bit-identical either way).
-var scanPool = core.NewScanPool()
-
-// proberOptions returns the prober configuration the CLI attacks share.
-func proberOptions() core.Options {
-	return core.Options{Workers: scanWorkers, Pool: scanPool}
+func (a *app) fail(format string, args ...any) int {
+	fmt.Fprintf(a.errw, format+"\n", args...)
+	return 1
 }
 
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(1)
-}
-
-func newVictim(preset *uarch.Preset, seed uint64, cfg linux.Config) (*machine.Machine, *linux.Kernel, *core.Prober) {
+func (a *app) newVictim(preset *uarch.Preset, seed uint64, cfg linux.Config) (*machine.Machine, *linux.Kernel, *core.Prober, error) {
 	m := machine.New(preset, seed)
 	cfg.Seed = seed
 	k, err := linux.Boot(m, cfg)
 	if err != nil {
-		fail("boot: %v", err)
+		return nil, nil, nil, fmt.Errorf("boot: %w", err)
 	}
-	p, err := core.NewProber(m, proberOptions())
+	p, err := core.NewProber(m, a.proberOptions())
 	if err != nil {
-		fail("calibration: %v", err)
+		return nil, nil, nil, fmt.Errorf("calibration: %w", err)
 	}
-	fmt.Printf("victim: %s, Linux (KASLR%s%s), seed %d\n",
+	fmt.Fprintf(a.out, "victim: %s, Linux (KASLR%s%s), seed %d\n",
 		preset.Name, opt(cfg.KPTI, "+KPTI"), opt(cfg.FLARE, "+FLARE"), seed)
-	fmt.Printf("calibrated threshold: %.1f cycles (fast-class median %.1f)\n\n",
+	fmt.Fprintf(a.out, "calibrated threshold: %.1f cycles (fast-class median %.1f)\n\n",
 		p.Threshold.Cycles, p.Threshold.FastMean)
-	return m, k, p
+	return m, k, p, nil
 }
 
 func opt(on bool, s string) string {
@@ -128,11 +156,14 @@ func opt(on bool, s string) string {
 	return ""
 }
 
-func runBase(preset *uarch.Preset, seed uint64, kpti, flare bool) {
-	m, k, p := newVictim(preset, seed, linux.Config{KPTI: kpti, FLARE: flare})
+func (a *app) runBase(preset *uarch.Preset, seed uint64, kpti, flare bool) error {
+	_, k, p, err := a.newVictim(preset, seed, linux.Config{KPTI: kpti, FLARE: flare})
+	if err != nil {
+		return err
+	}
 	res, err := core.KernelBase(p)
 	if err != nil {
-		fail("attack: %v", err)
+		return fmt.Errorf("attack: %w", err)
 	}
 	mapped := &trace.Series{Name: "mapped"}
 	unmapped := &trace.Series{Name: "unmapped"}
@@ -150,16 +181,19 @@ func runBase(preset *uarch.Preset, seed uint64, kpti, flare bool) {
 	plot := trace.NewPlot("kernel offset scan (Fig. 4)", "offset (2 MiB slots)", "cycles")
 	plot.AddSeries(unmapped, '.')
 	plot.AddSeries(mapped, 'o')
-	fmt.Println(plot.Render())
-	fmt.Printf("kernel base: %#x (slide %#x) — ground truth %#x [%s]\n",
+	fmt.Fprintln(a.out, plot.Render())
+	fmt.Fprintf(a.out, "kernel base: %#x (slide %#x) — ground truth %#x [%s]\n",
 		uint64(res.Base), res.Slide, uint64(k.Base), verdict(res.Base == k.Base))
-	fmt.Printf("runtime: probing %.3g ms, total %.3g ms; faults delivered: %d\n",
+	fmt.Fprintf(a.out, "runtime: probing %.3g ms, total %.3g ms; faults delivered: %d\n",
 		res.ProbeSeconds(preset)*1e3, res.TotalSeconds(preset)*1e3, p.Faults())
-	_ = m
+	return nil
 }
 
-func runModules(preset *uarch.Preset, seed uint64) {
-	_, k, p := newVictim(preset, seed, linux.Config{})
+func (a *app) runModules(preset *uarch.Preset, seed uint64) error {
+	_, k, p, err := a.newVictim(preset, seed, linux.Config{})
+	if err != nil {
+		return err
+	}
 	table := core.SizeTable(k.ProcModules())
 	res := core.Modules(p, table)
 	score := core.ScoreModules(res, k.Modules, table)
@@ -172,85 +206,95 @@ func runModules(preset *uarch.Preset, seed uint64) {
 		off := (uint64(r.Base) - uint64(linux.ModuleRegionBase)) >> 12
 		tab.AddRow(fmt.Sprintf("%d", off), fmt.Sprintf("%#x", r.Size), strings.Join(r.Names, "|"))
 	}
-	fmt.Println(tab.Render())
-	fmt.Printf("regions: %d; detection %.2f%%; uniquely identified %d/%d unique-sized\n",
+	fmt.Fprintln(a.out, tab.Render())
+	fmt.Fprintf(a.out, "regions: %d; detection %.2f%%; uniquely identified %d/%d unique-sized\n",
 		len(res.Regions), 100*score.DetectionAccuracy(), score.Identified, score.UniqueSize)
-	fmt.Printf("runtime: probing %.3g ms, total %.3g ms\n",
+	fmt.Fprintf(a.out, "runtime: probing %.3g ms, total %.3g ms\n",
 		preset.CyclesToSeconds(res.ProbeCycles)*1e3, preset.CyclesToSeconds(res.TotalCycles)*1e3)
+	return nil
 }
 
-func runKPTI(preset *uarch.Preset, seed uint64, trampolineOff uint64) {
-	_, k, p := newVictim(preset, seed, linux.Config{KPTI: true, TrampolineOffset: trampolineOff})
+func (a *app) runKPTI(preset *uarch.Preset, seed uint64, trampolineOff uint64) error {
+	_, k, p, err := a.newVictim(preset, seed, linux.Config{KPTI: true, TrampolineOffset: trampolineOff})
+	if err != nil {
+		return err
+	}
 	res, err := core.KPTIBreak(p, trampolineOff)
 	if err != nil {
-		fail("attack: %v", err)
+		return fmt.Errorf("attack: %w", err)
 	}
-	fmt.Printf("trampoline found at %#x\n", uint64(res.TrampolineVA))
-	fmt.Printf("kernel base: %#x — ground truth %#x [%s]\n",
+	fmt.Fprintf(a.out, "trampoline found at %#x\n", uint64(res.TrampolineVA))
+	fmt.Fprintf(a.out, "kernel base: %#x — ground truth %#x [%s]\n",
 		uint64(res.Base), uint64(k.Base), verdict(res.Base == k.Base))
-	fmt.Printf("runtime: total %.3g ms\n", preset.CyclesToSeconds(res.TotalCycles)*1e3)
+	fmt.Fprintf(a.out, "runtime: total %.3g ms\n", preset.CyclesToSeconds(res.TotalCycles)*1e3)
+	return nil
 }
 
-func runWindows(preset *uarch.Preset, seed uint64) {
+func (a *app) runWindows(preset *uarch.Preset, seed uint64) error {
 	m := machine.New(preset, seed)
 	wk, err := winkernel.Boot(m, winkernel.Config{Seed: seed, Drivers: 24})
 	if err != nil {
-		fail("boot: %v", err)
+		return fmt.Errorf("boot: %w", err)
 	}
-	p, err := core.NewProber(m, proberOptions())
+	p, err := core.NewProber(m, a.proberOptions())
 	if err != nil {
-		fail("calibration: %v", err)
+		return fmt.Errorf("calibration: %w", err)
 	}
-	fmt.Printf("victim: %s, Windows 10, 2^18 slots\n\n", preset.Name)
+	fmt.Fprintf(a.out, "victim: %s, Windows 10, 2^18 slots\n\n", preset.Name)
 	res, err := core.WindowsKernel(p, winkernel.ImageSlots)
 	if err != nil {
-		fail("attack: %v", err)
+		return fmt.Errorf("attack: %w", err)
 	}
-	fmt.Printf("kernel region: %#x (%d consecutive 2 MiB pages) — ground truth %#x [%s]\n",
+	fmt.Fprintf(a.out, "kernel region: %#x (%d consecutive 2 MiB pages) — ground truth %#x [%s]\n",
 		uint64(res.RegionBase), res.RunSlots, uint64(wk.Base), verdict(res.RegionBase == wk.Base))
-	fmt.Printf("runtime: %.3g ms (paper: ~60 ms)\n", preset.CyclesToSeconds(res.TotalCycles)*1e3)
+	fmt.Fprintf(a.out, "runtime: %.3g ms (paper: ~60 ms)\n", preset.CyclesToSeconds(res.TotalCycles)*1e3)
+	return nil
 }
 
-func runKVAS(preset *uarch.Preset, seed uint64) {
+func (a *app) runKVAS(preset *uarch.Preset, seed uint64) error {
 	const window = 4096 // 2 MiB slots scanned at 4 KiB granularity
 	m := machine.New(preset, seed)
 	wk, err := winkernel.Boot(m, winkernel.Config{Seed: seed, KVAS: true, MaxSlot: window - 8})
 	if err != nil {
-		fail("boot: %v", err)
+		return fmt.Errorf("boot: %w", err)
 	}
-	p, err := core.NewProber(m, proberOptions())
+	p, err := core.NewProber(m, a.proberOptions())
 	if err != nil {
-		fail("calibration: %v", err)
+		return fmt.Errorf("calibration: %w", err)
 	}
-	fmt.Printf("victim: %s, Windows 10 + KVAS (slide restricted to %d slots)\n\n", preset.Name, window)
+	fmt.Fprintf(a.out, "victim: %s, Windows 10 + KVAS (slide restricted to %d slots)\n\n", preset.Name, window)
 	res, err := core.KVASBreak(p, window)
 	if err != nil {
-		fail("attack: %v", err)
+		return fmt.Errorf("attack: %w", err)
 	}
-	fmt.Printf("KVAS region: %#x; kernel base %#x — ground truth %#x [%s]\n",
+	fmt.Fprintf(a.out, "KVAS region: %#x; kernel base %#x — ground truth %#x [%s]\n",
 		uint64(res.KVASVA), uint64(res.Base), uint64(wk.Base), verdict(res.Base == wk.Base))
-	fmt.Printf("runtime: %.3g s over the window (full region extrapolates ×%d)\n",
+	fmt.Fprintf(a.out, "runtime: %.3g s over the window (full region extrapolates ×%d)\n",
 		preset.CyclesToSeconds(res.TotalCycles), int(winkernel.Slots)/window)
+	return nil
 }
 
-func runBehavior(preset *uarch.Preset, seed uint64, duration float64) {
-	_, k, p := newVictim(preset, seed, linux.Config{})
+func (a *app) runBehavior(preset *uarch.Preset, seed uint64, duration float64) error {
+	_, k, p, err := a.newVictim(preset, seed, linux.Config{})
+	if err != nil {
+		return err
+	}
 	mres := core.Modules(p, core.SizeTable(k.ProcModules()))
 	targets, err := core.LocateTargets(mres, "bluetooth", "psmouse")
 	if err != nil {
-		fail("locate: %v", err)
+		return fmt.Errorf("locate: %w", err)
 	}
 	r := rng.New(seed + 1)
 	bt := behavior.RandomTimeline(behavior.BluetoothAudio(), duration, 12, 18, r)
 	ms := behavior.RandomTimeline(behavior.MouseMovement(), duration, 8, 6, r)
 	drv, err := behavior.NewDriver(k, bt, ms)
 	if err != nil {
-		fail("driver: %v", err)
+		return fmt.Errorf("driver: %w", err)
 	}
 	spy := &core.BehaviorSpy{P: p, Targets: targets}
 	traces, err := spy.Run(drv, duration)
 	if err != nil {
-		fail("spy: %v", err)
+		return fmt.Errorf("spy: %w", err)
 	}
 	for i, tr := range traces {
 		s := &trace.Series{Name: tr.Module}
@@ -259,34 +303,35 @@ func runBehavior(preset *uarch.Preset, seed uint64, duration float64) {
 		}
 		plot := trace.NewPlot(fmt.Sprintf("%s TLB probe (fast = in use)", tr.Module), "time (s)", "cycles")
 		plot.AddSeries(s, 'o')
-		fmt.Println(plot.Render())
+		fmt.Fprintln(a.out, plot.Render())
 		tl := []*behavior.Timeline{bt, ms}[i]
-		fmt.Printf("detection accuracy vs ground truth: %.1f%%\n\n", 100*tr.Accuracy(tl))
+		fmt.Fprintf(a.out, "detection accuracy vs ground truth: %.1f%%\n\n", 100*tr.Accuracy(tl))
 	}
+	return nil
 }
 
-func runSGX(preset *uarch.Preset, seed uint64, entropyBits int) {
+func (a *app) runSGX(preset *uarch.Preset, seed uint64, entropyBits int) error {
 	m := machine.New(preset, seed)
 	if _, err := linux.Boot(m, linux.Config{Seed: seed}); err != nil {
-		fail("boot: %v", err)
+		return fmt.Errorf("boot: %w", err)
 	}
 	proc, err := userspace.Build(m, userspace.Config{Seed: seed, EntropyBits: entropyBits, HideLastRWPage: true})
 	if err != nil {
-		fail("process: %v", err)
+		return fmt.Errorf("process: %w", err)
 	}
 	enc, err := sgx.Enter(m, sgx.RDTSC)
 	if err != nil {
-		fail("enclave: %v", err)
+		return fmt.Errorf("enclave: %w", err)
 	}
 	defer enc.Exit()
-	p, err := core.NewProber(m, proberOptions())
+	p, err := core.NewProber(m, a.proberOptions())
 	if err != nil {
-		fail("calibration: %v", err)
+		return fmt.Errorf("calibration: %w", err)
 	}
-	fmt.Printf("attacker inside SGX enclave on %s; process entropy %d bits\n\n", preset.Name, entropyBits)
+	fmt.Fprintf(a.out, "attacker inside SGX enclave on %s; process entropy %d bits\n\n", preset.Name, entropyBits)
 
 	base, probes, ok := core.ScanUntilMapped(p, userspace.ExeRegionBase, (1<<entropyBits)+1024)
-	fmt.Printf("exe base: %#x after %d probes [%s]\n", uint64(base), probes, verdict(ok && base == proc.Exe.Base))
+	fmt.Fprintf(a.out, "exe base: %#x after %d probes [%s]\n", uint64(base), probes, verdict(ok && base == proc.Exe.Base))
 
 	libStart := proc.Libs[0].Base - 16*paging.Page4K
 	libEnd := proc.Libs[len(proc.Libs)-1].End() + 8*paging.Page4K
@@ -296,17 +341,18 @@ func runSGX(preset *uarch.Preset, seed uint64, entropyBits int) {
 		tab.AddRow(fmt.Sprintf("%#x-%#x", uint64(rg.Start), uint64(rg.End)), rg.Class.String(),
 			fmt.Sprintf("%d", rg.Pages()))
 	}
-	fmt.Println(tab.Render())
+	fmt.Fprintln(a.out, tab.Render())
 	found := core.FingerprintLibraries(scan.Regions, userspace.StandardLibraries())
 	for name, addr := range found {
-		fmt.Printf("identified %-22s at %#x\n", name, uint64(addr))
+		fmt.Fprintf(a.out, "identified %-22s at %#x\n", name, uint64(addr))
 	}
-	fmt.Printf("\nscan runtime: load %.3g s, store %.3g s (×%d extrapolation to 28-bit entropy)\n",
+	fmt.Fprintf(a.out, "\nscan runtime: load %.3g s, store %.3g s (×%d extrapolation to 28-bit entropy)\n",
 		preset.CyclesToSeconds(scan.LoadCycles), preset.CyclesToSeconds(scan.StoreCycles),
 		1<<(28-entropyBits))
+	return nil
 }
 
-func runCloud(provider string, seed uint64) {
+func (a *app) runCloud(provider string, seed uint64) error {
 	var prov core.CloudProvider
 	switch provider {
 	case "ec2":
@@ -316,24 +362,28 @@ func runCloud(provider string, seed uint64) {
 	case "azure":
 		prov = core.MicrosoftAzure
 	default:
-		fail("unknown provider %q", provider)
+		return fmt.Errorf("unknown provider %q", provider)
 	}
-	res, err := core.CloudBreak(prov, seed, core.CloudBreakOptions{AzureMaxSlot: 20000})
+	res, err := core.CloudBreak(prov, seed, core.CloudBreakOptions{
+		AzureMaxSlot: 20000,
+		Probe:        a.proberOptions(),
+	})
 	if err != nil {
-		fail("attack: %v", err)
+		return fmt.Errorf("attack: %w", err)
 	}
 	sc := core.Scenario(prov)
-	fmt.Printf("provider: %s (%s)\n", prov, sc.Preset.Name)
+	fmt.Fprintf(a.out, "provider: %s (%s)\n", prov, sc.Preset.Name)
 	path := "page-table scan"
 	if res.ViaTrampoline {
 		path = fmt.Sprintf("KPTI trampoline (+%#x)", sc.Trampoline)
 	}
-	fmt.Printf("kernel base: %#x via %s in %.3g ms\n",
+	fmt.Fprintf(a.out, "kernel base: %#x via %s in %.3g ms\n",
 		uint64(res.KernelBase), path, sc.Preset.CyclesToSeconds(res.BaseCycles)*1e3)
 	if res.ModuleCycles > 0 {
-		fmt.Printf("modules: %d regions in %.3g ms\n",
+		fmt.Fprintf(a.out, "modules: %d regions in %.3g ms\n",
 			res.ModulesFound, sc.Preset.CyclesToSeconds(res.ModuleCycles)*1e3)
 	}
+	return nil
 }
 
 func verdict(ok bool) string {

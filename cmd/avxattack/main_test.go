@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The -workers flag must plumb into the prober options, alongside the
+// run-wide session pool.
+func TestWorkersFlagPlumbing(t *testing.T) {
+	var out, errw bytes.Buffer
+	a := newApp(&out, &errw)
+	if code := a.run([]string{"-attack", "base", "-workers", "4", "-seed", "1"}); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errw.String())
+	}
+	opts := a.proberOptions()
+	if opts.Workers != 4 {
+		t.Fatalf("prober options workers = %d, want 4", opts.Workers)
+	}
+	if opts.Pool == nil {
+		t.Fatal("prober options carry no session pool")
+	}
+	if opts.Pool.Replicas() == 0 {
+		t.Fatal("the kernel-base scan never drew a pooled replica")
+	}
+	if !strings.Contains(out.String(), "[correct]") {
+		t.Fatalf("attack output missing correct verdict:\n%s", out.String())
+	}
+}
+
+// Every attack the CLI exposes must run to success on its default victim
+// at a fixed seed, workers inline and sharded.
+func TestAttacksEndToEnd(t *testing.T) {
+	cases := [][]string{
+		{"-attack", "base", "-seed", "1"},
+		{"-attack", "base", "-cpu", "5600X", "-seed", "1", "-workers", "2"},
+		{"-attack", "modules", "-cpu", "1065G7", "-seed", "1", "-workers", "2"},
+		{"-attack", "kpti", "-seed", "1"},
+		{"-attack", "windows", "-seed", "1", "-workers", "2"},
+		{"-attack", "cloud", "-provider", "gce", "-seed", "1"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		a := newApp(&out, &errw)
+		if code := a.run(args); code != 0 {
+			t.Fatalf("%v: exit code %d, stderr: %s", args, code, errw.String())
+		}
+		if strings.Contains(out.String(), "WRONG") {
+			t.Fatalf("%v: attack missed:\n%s", args, out.String())
+		}
+	}
+}
+
+// Bad flags and unknown attacks must fail without panicking.
+func TestBadInvocations(t *testing.T) {
+	for _, args := range [][]string{
+		{"-attack", "frobnicate"},
+		{"-cpu", "no-such-cpu"},
+		{"-attack", "cloud", "-provider", "dc1"},
+		{"-no-such-flag"},
+	} {
+		var out, errw bytes.Buffer
+		if code := newApp(&out, &errw).run(args); code == 0 {
+			t.Fatalf("%v: expected non-zero exit", args)
+		}
+	}
+}
+
+// -list prints the preset table and exits cleanly.
+func TestListPresets(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := newApp(&out, &errw).run([]string{"-list"}); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out.String(), "GHz") {
+		t.Fatalf("preset list missing:\n%s", out.String())
+	}
+}

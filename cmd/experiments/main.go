@@ -3,15 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-scale default|paper] [-only "Fig. 4"] [-seed N]
+//	experiments [-scale default|paper] [-only "Fig. 4"] [-seed N] [-workers N]
 //
 // The default scale finishes in seconds; -scale paper runs the paper's
 // trial counts (n=10000 for Table I) and takes minutes.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,11 +22,28 @@ import (
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "default", "experiment scale: default or paper")
-	only := flag.String("only", "", "run only experiments whose ID contains this substring")
-	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the scale's default)")
-	workers := flag.Int("workers", 0, "scan-engine workers for the big VA sweeps (0 = sequential, negative = all CPUs)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// config is one parsed invocation.
+type config struct {
+	scale experiments.Scale
+	only  string
+}
+
+// parseFlags resolves args into the experiment configuration — split out
+// so tests can verify the flag plumbing (scale, seed override, workers,
+// session pool) without running experiments.
+func parseFlags(args []string, errw io.Writer) (config, error) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	scaleFlag := fs.String("scale", "default", "experiment scale: default or paper")
+	only := fs.String("only", "", "run only experiments whose ID contains this substring")
+	seed := fs.Uint64("seed", 0, "override the experiment seed (0 keeps the scale's default)")
+	workers := fs.Int("workers", 0, "scan-engine workers for the big VA sweeps (0 = sequential, negative = all CPUs)")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
 
 	var sc experiments.Scale
 	switch *scaleFlag {
@@ -33,8 +52,7 @@ func main() {
 	case "paper":
 		sc = experiments.PaperScale()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		return config{}, fmt.Errorf("unknown scale %q", *scaleFlag)
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
@@ -43,8 +61,15 @@ func main() {
 	// One worker pool for the whole run: every experiment's scans share the
 	// same machine replicas (results are bit-identical to fresh workers).
 	sc.Pool = core.NewScanPool()
+	return config{scale: sc, only: *only}, nil
+}
 
-	runners := []struct {
+// runners lists every experiment in report order.
+func runners() []struct {
+	id  string
+	run func(experiments.Scale) experiments.Report
+} {
+	return []struct {
 		id  string
 		run func(experiments.Scale) experiments.Report
 	}{
@@ -65,27 +90,40 @@ func main() {
 		{"§V", experiments.Sec5Defenses},
 		{"baselines", experiments.BaselineComparison},
 	}
+}
+
+// run executes the selected experiments and returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
 
 	failures := 0
 	ran := 0
-	for _, r := range runners {
-		if *only != "" && !strings.Contains(r.id, *only) {
+	for _, r := range runners() {
+		if cfg.only != "" && !strings.Contains(r.id, cfg.only) {
 			continue
 		}
-		rep := r.run(sc)
-		fmt.Println(rep.String())
-		fmt.Println()
+		rep := r.run(cfg.scale)
+		fmt.Fprintln(stdout, rep.String())
+		fmt.Fprintln(stdout)
 		ran++
 		if !rep.OK {
 			failures++
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matches -only=%q\n", *only)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "no experiment matches -only=%q\n", cfg.only)
+		return 2
 	}
-	fmt.Printf("%d/%d experiments reproduce the paper's shape\n", ran-failures, ran)
+	fmt.Fprintf(stdout, "%d/%d experiments reproduce the paper's shape\n", ran-failures, ran)
 	if failures > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

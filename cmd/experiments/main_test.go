@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// Flag plumbing: -workers and -seed must land in the Scale, and every run
+// must get a session pool.
+func TestParseFlagsPlumbing(t *testing.T) {
+	cfg, err := parseFlags([]string{"-workers", "3", "-seed", "99", "-only", "Fig. 1"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.scale.Workers != 3 {
+		t.Fatalf("scale workers = %d, want 3", cfg.scale.Workers)
+	}
+	if cfg.scale.Seed != 99 {
+		t.Fatalf("scale seed = %d, want 99", cfg.scale.Seed)
+	}
+	if cfg.scale.Pool == nil {
+		t.Fatal("no session pool in scale")
+	}
+	if cfg.only != "Fig. 1" {
+		t.Fatalf("only = %q", cfg.only)
+	}
+	if _, err := parseFlags([]string{"-scale", "nope"}, io.Discard); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+// A cheap experiment must run end to end through the CLI path, inline and
+// with sharded sweeps.
+func TestRunSingleExperiment(t *testing.T) {
+	for _, workers := range []string{"0", "2"} {
+		var out, errw bytes.Buffer
+		code := run([]string{"-only", "Fig. 1", "-workers", workers}, &out, &errw)
+		if code != 0 {
+			t.Fatalf("workers=%s: exit %d\nstdout: %s\nstderr: %s", workers, code, out.String(), errw.String())
+		}
+		if !strings.Contains(out.String(), "1/1 experiments reproduce") {
+			t.Fatalf("workers=%s: unexpected summary:\n%s", workers, out.String())
+		}
+	}
+}
+
+// An -only filter matching nothing must fail with a clear message.
+func TestRunNoMatch(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-only", "Fig. 99"}, &out, &errw); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "no experiment matches") {
+		t.Fatalf("stderr: %s", errw.String())
+	}
+}

@@ -1,0 +1,131 @@
+// Command scand is the attack-as-a-service daemon: it serves the job
+// scheduler of internal/service over HTTP, multiplexing concurrent attack
+// jobs (kernel base, KPTI, modules, Windows, §IV-F user scan, cloud
+// scenarios) across executor goroutines that share calibrated sessions and
+// one scan-engine worker pool.
+//
+// Daemon mode:
+//
+//	scand [-addr :8440] [-executors N] [-scan-workers N] [-queue N] [-fresh]
+//
+//	POST /jobs       {"kind":"kernelbase","cpu":"12400F","seed":7}  → {"id":1}
+//	GET  /jobs/1     status + result
+//	GET  /stats      success rate, jobs/s, p50/p99 latency, reuse counters
+//	POST /drain      graceful drain (finish queued work, refuse new jobs)
+//
+// SIGINT/SIGTERM also drain before exiting. Load-generator mode hammers
+// the scheduler in-process with a mixed scenario workload and appends a
+// throughput entry to BENCH_scan.json:
+//
+//	scand -load [-jobs 256] [-concurrency 64] [-victims 16] [-bench-out BENCH_scan.json]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses flags and starts the daemon or the load generator; split from
+// main for tests.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("scand", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8440", "daemon listen address")
+		executors   = fs.Int("executors", 0, "concurrent job executors (0 = GOMAXPROCS)")
+		scanWorkers = fs.Int("scan-workers", 0, "scan-engine workers per job (0 = inline, negative = all CPUs)")
+		queue       = fs.Int("queue", 64, "bounded job-queue depth")
+		fresh       = fs.Bool("fresh", false, "disable the shared scan pool (fresh replicas per sweep)")
+		load        = fs.Bool("load", false, "run the load generator instead of the daemon")
+		jobs        = fs.Int("jobs", 256, "load: total jobs")
+		concurrency = fs.Int("concurrency", 64, "load: concurrent submitters")
+		victims     = fs.Int("victims", 16, "load: victim pool size (repeat-scan ratio)")
+		seed        = fs.Uint64("seed", 1, "load: base victim seed")
+		benchOut    = fs.String("bench-out", "BENCH_scan.json", "load: benchmark trajectory file (empty = don't record)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	cfg := service.Config{
+		Executors:    *executors,
+		QueueDepth:   *queue,
+		ScanWorkers:  *scanWorkers,
+		FreshWorkers: *fresh,
+	}
+	s := service.New(cfg)
+
+	if *load {
+		return runLoad(s, *jobs, *concurrency, *victims, *seed, *benchOut, stdout, stderr)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(s)}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(stdout, "scand: draining (finishing queued jobs, refusing new ones)")
+		s.Drain()
+		srv.Close()
+	}()
+	eff := s.Config()
+	fmt.Fprintf(stdout, "scand: serving attack jobs on %s (executors=%d scan-workers=%d queue=%d pooled=%v)\n",
+		*addr, eff.Executors, eff.ScanWorkers, eff.QueueDepth, !eff.FreshWorkers)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(stderr, "scand: %v\n", err)
+		return 1
+	}
+	printStats(stdout, s.Stats())
+	return 0
+}
+
+// runLoad drives the in-process load generator and records the result.
+func runLoad(s *service.Scheduler, jobs, concurrency, victims int, seed uint64, benchOut string, stdout, stderr *os.File) int {
+	fmt.Fprintf(stdout, "scand: load run — %d jobs, %d submitters, %d victims, mixed scenarios\n",
+		jobs, concurrency, victims)
+	rep := service.RunLoad(s, service.LoadConfig{
+		Jobs:        jobs,
+		Concurrency: concurrency,
+		Victims:     victims,
+		Seed:        seed,
+	})
+	s.Drain()
+	rep.Stats = s.Stats()
+	printStats(stdout, rep.Stats)
+	fmt.Fprintf(stdout, "wall %.2fs, %d queue-full retries\n", rep.WallSec, rep.Retries)
+	if rep.Stats.Failed > 0 {
+		fmt.Fprintf(stderr, "scand: %d jobs failed\n", rep.Stats.Failed)
+		return 1
+	}
+	if benchOut != "" {
+		if err := service.AppendBench(benchOut, rep); err != nil {
+			fmt.Fprintf(stderr, "scand: recording benchmark: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "recorded load entry in %s\n", benchOut)
+	}
+	return 0
+}
+
+func printStats(out *os.File, st service.Stats) {
+	fmt.Fprintf(out, "jobs: %d submitted, %d done, %d failed, %d rejected; success %.2f%%\n",
+		st.Submitted, st.Completed, st.Failed, st.Rejected, 100*st.SuccessRate)
+	fmt.Fprintf(out, "throughput: %.1f jobs/s; latency p50 %.2f ms, p99 %.2f ms; simulated attacker time %.3f s\n",
+		st.JobsPerSec, st.P50Ms, st.P99Ms, st.SimAttackerSec)
+	fmt.Fprintf(out, "reuse: %d sessions, %d calibrations skipped, %d pooled scan replicas\n",
+		st.Sessions, st.CalibrationsReused, st.PoolReplicas)
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 
 	"repro/internal/behavior"
@@ -32,6 +33,11 @@ func main() {
 	}
 	fmt.Println()
 
+	// One session pool for the whole run: each candidate app boots a fresh
+	// victim, but the module-region sweeps all reuse the same worker
+	// replicas via machine.Rebind instead of re-cloning them per victim.
+	pool := core.NewScanPool()
+
 	correct := 0
 	for _, truth := range profiles {
 		m := machine.New(uarch.IceLake1065G7(), 21)
@@ -39,7 +45,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		prober, err := core.NewProber(m, core.Options{})
+		prober, err := core.NewProber(m, core.Options{Workers: runtime.NumCPU(), Pool: pool})
 		if err != nil {
 			log.Fatal(err)
 		}

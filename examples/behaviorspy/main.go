@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"repro/internal/behavior"
 	"repro/internal/core"
@@ -27,7 +28,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prober, err := core.NewProber(m, core.Options{})
+	// The module-locating sweep runs on pooled worker replicas; the 1 Hz
+	// TLB probes of the spy phase run on the prober's own machine.
+	prober, err := core.NewProber(m, core.Options{Workers: runtime.NumCPU(), Pool: core.NewScanPool()})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,11 +12,17 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"repro/internal/core"
 )
 
 func main() {
+	// One session pool across all three providers: each guest's sweeps
+	// rebind the same worker replicas, even as the preset changes from
+	// Xeon to Xeon — exactly how a scanning service amortizes clones.
+	pool := core.NewScanPool()
+
 	for _, prov := range []core.CloudProvider{core.AmazonEC2, core.GoogleGCE, core.MicrosoftAzure} {
 		sc := core.Scenario(prov)
 		fmt.Printf("=== %s — %s\n", prov, sc.Preset.Name)
@@ -25,6 +31,7 @@ func main() {
 			// The Azure/Windows scan is bounded for example runtime; the
 			// full 2^18-slot scan is the §IV-G/H bench.
 			AzureMaxSlot: 20000,
+			Probe:        core.Options{Workers: runtime.NumCPU(), Pool: pool},
 		})
 		if err != nil {
 			log.Fatalf("%s: %v", prov, err)

@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -25,7 +26,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prober, err := core.NewProber(m, core.Options{})
+	// The 16384-page region sweep shards across pooled worker replicas;
+	// results are bit-identical to a sequential scan.
+	prober, err := core.NewProber(m, core.Options{Workers: runtime.NumCPU(), Pool: core.NewScanPool()})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/linux"
@@ -32,8 +33,12 @@ func main() {
 
 	// The attacker: an unprivileged process. NewProber mmaps a few of its
 	// own pages and times first-stores to calibrate the mapped/unmapped
-	// decision threshold — no kernel access needed.
-	prober, err := core.NewProber(m, core.Options{})
+	// decision threshold — no kernel access needed. The session pool holds
+	// the scan engine's worker replicas: this one-shot attack barely needs
+	// it, but it is the same two-line setup every long-running session
+	// (cmd/scand) uses, and output is bit-identical at any worker count.
+	pool := core.NewScanPool()
+	prober, err := core.NewProber(m, core.Options{Workers: runtime.NumCPU(), Pool: pool})
 	if err != nil {
 		log.Fatal(err)
 	}

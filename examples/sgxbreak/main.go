@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/linux"
@@ -54,7 +55,10 @@ func main() {
 	}
 	defer enclave.Exit()
 
-	prober, err := core.NewProber(m, core.Options{})
+	// Both big sweeps — the linear base search and the fused permission
+	// scan — shard across pooled worker replicas (bit-identical to the
+	// sequential scan at any worker count).
+	prober, err := core.NewProber(m, core.Options{Workers: runtime.NumCPU(), Pool: core.NewScanPool()})
 	if err != nil {
 		log.Fatal(err)
 	}

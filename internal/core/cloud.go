@@ -74,9 +74,14 @@ func Scenario(c CloudProvider) CloudScenario {
 	panic("core: unknown provider")
 }
 
-// CloudBreakOptions scales the Azure scan for tests (0 = full region).
+// CloudBreakOptions scales the Azure scan for tests (0 = full region) and
+// configures the probers CloudBreak builds.
 type CloudBreakOptions struct {
 	AzureMaxSlot int
+	// Probe is the prober configuration for the attack (notably Workers and
+	// the session ScanPool, so cloud scans share replicas with the rest of
+	// a session's jobs).
+	Probe Options
 }
 
 // CloudBreak runs the §IV-H attack against one provider's guest.
@@ -90,7 +95,7 @@ func CloudBreak(c CloudProvider, seed uint64, opt CloudBreakOptions) (CloudResul
 		if err != nil {
 			return res, err
 		}
-		p, err := NewProber(m, Options{})
+		p, err := NewProber(m, opt.Probe)
 		if err != nil {
 			return res, err
 		}
@@ -110,7 +115,7 @@ func CloudBreak(c CloudProvider, seed uint64, opt CloudBreakOptions) (CloudResul
 	if err != nil {
 		return res, err
 	}
-	p, err := NewProber(m, Options{})
+	p, err := NewProber(m, opt.Probe)
 	if err != nil {
 		return res, err
 	}
@@ -148,7 +153,7 @@ func CloudBreak(c CloudProvider, seed uint64, opt CloudBreakOptions) (CloudResul
 		// module area on that kernel build; model by probing the kernel
 		// view directly.
 		m.InstallAddressSpaces(m.KernelAS, m.KernelAS)
-		p2, err := NewProber(m, Options{})
+		p2, err := NewProber(m, opt.Probe)
 		if err != nil {
 			return res, err
 		}

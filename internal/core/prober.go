@@ -213,8 +213,85 @@ func (p *Prober) Calibrate() error {
 		p.Threshold = stats.CalibrateOffset(fast, margin)
 	}
 	p.StoreThreshold = stats.CalibrateMidpoint(storeFast, fast)
+	// Leave the machine in the canonical empty-translation state (the same
+	// state runSweep restores after every sweep): calibration mapped,
+	// touched and unmapped hundreds of scratch pages, so the honest
+	// post-calibration state has every translation structure displaced
+	// anyway — and a canonical state makes everything probed after
+	// calibration a pure function of (victim image, machine seed), not of
+	// calibration internals. This is also what lets a calibration cache
+	// replay the post-calibration state on a fresh victim replica exactly
+	// (see NewProberFromCalibration).
+	p.M.ResetTranslationState()
 	p.calibrated = true
 	return nil
+}
+
+// SessionState snapshots the attack-visible execution state of a prober and
+// its machine: the clock, noise-stream position, counters, fault count and
+// scan epoch. A service session captures it once after calibration and
+// restores it before every job, so each job starts from the identical
+// post-calibration state a freshly booted-and-calibrated victim would be in
+// — which is what makes a job's output bit-identical whether it ran first
+// or five-hundredth on the session.
+type SessionState struct {
+	mc        machine.Checkpoint
+	scanEpoch uint64
+	faults    int
+}
+
+// Checkpoint snapshots the prober+machine execution state.
+func (p *Prober) Checkpoint() SessionState {
+	return SessionState{mc: p.M.Checkpoint(), scanEpoch: p.scanEpoch, faults: p.faults}
+}
+
+// Restore rewinds the prober and its machine to a checkpointed state (see
+// machine.Restore for the memory-image caveat: nothing may have mutated the
+// victim's address spaces since the checkpoint).
+func (p *Prober) Restore(s SessionState) {
+	p.M.Restore(s.mc)
+	p.scanEpoch = s.scanEpoch
+	p.faults = s.faults
+}
+
+// Calibration is the portable result of one Calibrate run: the decision
+// thresholds plus the post-calibration execution state. Cache it keyed by
+// victim configuration (preset, boot parameters, seed, prober options) and
+// hand it to NewProberFromCalibration to skip recalibrating a fresh boot of
+// the same victim.
+type Calibration struct {
+	Threshold      stats.Threshold
+	StoreThreshold stats.Threshold
+	// State is the execution state right after Calibrate returned.
+	State SessionState
+}
+
+// CalibrationSnapshot exports the prober's calibration for a session cache.
+// Call it immediately after NewProber, before any attack has run.
+func (p *Prober) CalibrationSnapshot() Calibration {
+	return Calibration{Threshold: p.Threshold, StoreThreshold: p.StoreThreshold, State: p.Checkpoint()}
+}
+
+// NewProberFromCalibration creates a prober on m from a cached calibration
+// instead of running Calibrate. m must be a bit-identical replica of the
+// machine the calibration was taken on (same preset, same seed, same boot
+// sequence); restoring the recorded post-calibration state then reproduces
+// the calibrated prober exactly — same thresholds, same clock, same noise
+// position — without paying the calibration's mmap + measurement cost, the
+// way a real attacker calibrates once per victim class and reuses the
+// thresholds across sessions. Every attack result from the returned prober
+// is bit-identical to one from a freshly calibrated prober.
+func NewProberFromCalibration(m *machine.Machine, opt Options, cal Calibration) *Prober {
+	p := &Prober{
+		M:              m,
+		Opt:            opt.withDefaults(),
+		Threshold:      cal.Threshold,
+		StoreThreshold: cal.StoreThreshold,
+		calibrated:     true,
+		scratchVA:      ScratchBase,
+	}
+	p.Restore(cal.State)
+	return p
 }
 
 // reduceGroups reduces raw per-measurement values in groups of
@@ -465,6 +542,54 @@ func (p *Prober) ProbeTermLevel(va paging.VirtAddr, samples int) TermProbe {
 		}
 	}
 	return TermProbe{VA: va, Cycles: best}
+}
+
+// probeTermBatchWindow is the batched form of a ProbeTermLevel loop over
+// the non-skipped indices of [lo, hi): each index's samples eviction+measure
+// pairs run through machine.MeasureEvictedBatch (bit-identical to the
+// per-VA loop — same eviction sequence, same noise draws, same clock
+// charges), then reduce by minimum exactly as ProbeTermLevel does. cycles
+// and verdicts receive the window-relative results; verdict = cycles above
+// the walk-termination threshold. Skipped indices consume no eviction, no
+// probe and no noise.
+func (p *Prober) probeTermBatchWindow(start paging.VirtAddr, stride uint64, lo, hi int,
+	skip func(int) bool, samples int, threshold float64, cycles []float64, verdicts []bool) {
+	if samples <= 0 {
+		samples = 1
+	}
+	n := hi - lo
+	if cap(p.batchOps) < n {
+		p.batchOps = make([]avx.Op, 0, n)
+		p.batchPos = make([]int, 0, n)
+	}
+	ops, pos := p.batchOps[:0], p.batchPos[:0]
+	for i := lo; i < hi; i++ {
+		if skip != nil && skip(i) {
+			continue
+		}
+		va := start + paging.VirtAddr(uint64(i)*stride)
+		ops = append(ops, avx.MaskedLoad(va, avx.ZeroMask))
+		pos = append(pos, i-lo)
+	}
+	if need := len(ops) * samples; cap(p.batchMeas) < need {
+		p.batchMeas = make([]float64, need)
+	}
+	meas := p.batchMeas[:len(ops)*samples]
+	p.faults += p.M.MeasureEvictedBatch(ops, samples, meas)
+	// measureLoad adds the extra timer jitter to every sample; a constant
+	// addend commutes with the min reduction.
+	jitter := p.Opt.ExtraJitterSigma
+	for j := range ops {
+		best := meas[j*samples]
+		for _, t := range meas[j*samples+1 : (j+1)*samples] {
+			if t < best {
+				best = t
+			}
+		}
+		best += jitter
+		cycles[pos[j]] = best
+		verdicts[pos[j]] = best > threshold
+	}
 }
 
 // ScanMapped probes n pages from start at the given stride with the

@@ -364,6 +364,22 @@ func (w *termWorker) Probe(va paging.VirtAddr) scan.Sample[bool] {
 	return scan.Sample[bool]{Cycles: tp.Cycles, Verdict: tp.Cycles > w.threshold}
 }
 
+// ProbeChunk batches the chunk's eviction+measure pairs through
+// machine.MeasureEvictedBatch — the Zen 3 term-level sweep's counterpart of
+// the mapped/store sweeps' batched chunks, bit-identical to the per-VA
+// ProbeTermLevel loop.
+func (w *termWorker) ProbeChunk(start paging.VirtAddr, stride uint64, lo, hi int,
+	skip func(int) bool, skipV bool, verdicts []bool, cycles []float64) {
+	if skip != nil {
+		for i := lo; i < hi; i++ {
+			if skip(i) {
+				verdicts[i-lo] = skipV
+			}
+		}
+	}
+	w.p.probeTermBatchWindow(start, stride, lo, hi, skip, w.samples, w.threshold, cycles, verdicts)
+}
+
 func (w *termWorker) Classify(cycles float64) bool { return cycles > w.threshold }
 
 // runSweep is the one scan path every large VA sweep takes. It shards the

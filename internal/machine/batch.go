@@ -1,6 +1,9 @@
 package machine
 
-import "repro/internal/avx"
+import (
+	"repro/internal/avx"
+	"repro/internal/paging"
+)
 
 // This file is the batched probe surface of the machine: the scan engine's
 // chunk workers hand whole slices of masked ops down here so the
@@ -46,6 +49,57 @@ func (m *Machine) MeasureBatch(ops []avx.Op, warmups, samples int, out []float64
 			m.ExecMasked(op)
 		}
 		for s := 0; s < samples; s++ {
+			r := m.ExecMasked(op)
+			if r.Faulted {
+				faults++
+			}
+			meas := r.Cycles + fence + m.noiseSampleSigma(sigma)
+			if meas < 0 {
+				meas = 0
+			}
+			m.tsc += bracket
+			out[oi] = meas
+			oi++
+		}
+	}
+	return faults
+}
+
+// MeasureEvictedBatch runs the targeted-eviction probe sequence of the AMD
+// walk-termination attack for every op in ops: samples repetitions of
+// { EvictTranslation(op.Addr); Measure(op) }, writing the measured cycle
+// values to out op-major — out[i*samples+s] is op i's sample s; len(out)
+// must be >= len(ops)*samples. Returns the number of measured executions
+// that delivered a fault.
+//
+// The state mutations, noise draws and clock charges per sample are
+// identical to the equivalent per-VA loop
+//
+//	for s := 0; s < samples; s++ {
+//		m.EvictTranslation(va)
+//		m.Measure(op)
+//	}
+//
+// so batched term-level sweeps are bit-identical to per-VA ones at any
+// batch boundary. Two loop-invariant costs are hoisted per op: the
+// noise-sigma/fence composition (as in MeasureBatch) and the eviction's
+// page-table walk — the walk is a pure read of the (scan-immutable)
+// address space, so one walk's frame list serves all of a VA's samples;
+// only its eviction side effects and attacker cost repeat per sample.
+func (m *Machine) MeasureEvictedBatch(ops []avx.Op, samples int, out []float64) (faults int) {
+	sigma := m.Preset.NoiseSigma + m.Preset.ExtraNoiseSigma
+	fence := m.Preset.FenceOverhead
+	bracket := uint64(m.Preset.FenceOverhead + m.Preset.LoopOverhead)
+	oi := 0
+	for _, op := range ops {
+		// The eviction walk, hoisted: EvictTranslation re-walks per call,
+		// but within one scan the walk result cannot change. A dedicated
+		// scratch buffer keeps ExecMasked's own translations (which share
+		// m.visitBuf) from clobbering the hoisted frame list mid-loop.
+		w := m.UserAS.Translate(paging.PageBase(op.Addr, paging.Page4K), m.evictBuf)
+		m.evictBuf = w.Visited
+		for s := 0; s < samples; s++ {
+			m.evictWalkLines(op.Addr, w.Visited)
 			r := m.ExecMasked(op)
 			if r.Faulted {
 				faults++

@@ -70,6 +70,101 @@ func TestMeasureBatchMatchesLoop(t *testing.T) {
 	}
 }
 
+// MeasureEvictedBatch must be bit-identical to the per-VA targeted-eviction
+// loop of the AMD term-level attack: same measurements, same fault count,
+// same clock, same counters — the hoisted eviction walk must change
+// nothing observable.
+func TestMeasureEvictedBatchMatchesLoop(t *testing.T) {
+	build := func() *Machine {
+		m := New(uarch.Zen3_5600X(), 77)
+		if err := m.MapUser(0x7e0000000000, 16*paging.Page4K, paging.Writable); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	const n = 48
+	const samples = 4
+	ops := testOps(n)
+
+	loopM := build()
+	want := make([]float64, 0, n*samples)
+	wantFaults := 0
+	for _, op := range ops {
+		for s := 0; s < samples; s++ {
+			loopM.EvictTranslation(op.Addr)
+			v, r := loopM.Measure(op)
+			if r.Faulted {
+				wantFaults++
+			}
+			want = append(want, v)
+		}
+	}
+
+	batchM := build()
+	got := make([]float64, n*samples)
+	gotFaults := batchM.MeasureEvictedBatch(ops, samples, got)
+
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("measurement %d differs: loop %v, batch %v", i, want[i], got[i])
+		}
+	}
+	if wantFaults != gotFaults {
+		t.Fatalf("fault counts differ: loop %d, batch %d", wantFaults, gotFaults)
+	}
+	if loopM.RDTSC() != batchM.RDTSC() {
+		t.Fatalf("clocks differ: loop %d, batch %d", loopM.RDTSC(), batchM.RDTSC())
+	}
+	if loopM.Counters != batchM.Counters {
+		t.Fatal("performance counters differ between loop and batch")
+	}
+}
+
+// The batched eviction+measure path must not allocate in steady state.
+func TestMeasureEvictedBatchZeroAlloc(t *testing.T) {
+	m := New(uarch.Zen3_5600X(), 3)
+	if err := m.MapUser(0x7e0000000000, 16*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(32)
+	out := make([]float64, 2*len(ops))
+	m.MeasureEvictedBatch(ops, 2, out) // warm the eviction walk buffer
+	if n := testing.AllocsPerRun(200, func() { m.MeasureEvictedBatch(ops, 2, out) }); n > 0 {
+		t.Errorf("MeasureEvictedBatch: %v allocs/op, want 0", n)
+	}
+}
+
+// Checkpoint/Restore must rewind the execution state exactly: a machine
+// restored to a checkpoint replays the identical measurement stream a
+// second time.
+func TestCheckpointRestoreReplays(t *testing.T) {
+	m := New(uarch.IceLake1065G7(), 9)
+	if err := m.MapUser(0x7e0000000000, 16*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	ops := testOps(24)
+	cp := m.Checkpoint()
+	first := make([]float64, len(ops))
+	m.MeasureBatch(ops, 1, 1, first)
+	tscAfter := m.RDTSC()
+	countersAfter := m.Counters.Snapshot()
+
+	m.Restore(cp)
+	second := make([]float64, len(ops))
+	m.MeasureBatch(ops, 1, 1, second)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("measurement %d differs after restore: %v vs %v", i, first[i], second[i])
+		}
+	}
+	if m.RDTSC() != tscAfter {
+		t.Fatalf("clock differs after restored replay: %d vs %d", m.RDTSC(), tscAfter)
+	}
+	if m.Counters != countersAfter {
+		t.Fatal("counters differ after restored replay")
+	}
+}
+
 // ExecMaskedBatch must be the plain batched form of ExecMasked.
 func TestExecMaskedBatchMatchesLoop(t *testing.T) {
 	a := New(uarch.AlderLake12400F(), 5)

@@ -64,6 +64,10 @@ type Machine struct {
 	backing []*[phys.FrameSize]byte
 
 	visitBuf []phys.PFN
+	// evictBuf backs the hoisted eviction walk of MeasureEvictedBatch; it
+	// must be distinct from visitBuf because ExecMasked's own translations
+	// reuse visitBuf between the batch's samples.
+	evictBuf []phys.PFN
 	elemBuf  [8]uint32
 
 	// Per-call scratch state of ExecMasked: the page translations of the
@@ -236,6 +240,42 @@ func (m *Machine) SwapNoise(src *rng.Source) *rng.Source {
 	old := m.noise
 	m.noise = src
 	return old
+}
+
+// Checkpoint is a snapshot of a machine's execution state — the clock, the
+// position of its own noise stream and the performance-counter bank. It
+// deliberately excludes memory state (address spaces, the write shadow,
+// the physical allocator): a checkpoint taken on machine A applies to any
+// machine whose memory image is bit-identical to A's, which is what lets a
+// service session skip re-running calibration on a freshly booted replica
+// of a known victim and still produce bit-identical attack results.
+type Checkpoint struct {
+	tsc      uint64
+	noise    rng.Source
+	counters perf.Counters
+}
+
+// Checkpoint snapshots the machine's execution state. Pair with Restore to
+// rewind a long-lived session machine to a canonical point (post-boot,
+// post-calibration) between jobs.
+func (m *Machine) Checkpoint() Checkpoint {
+	return Checkpoint{tsc: m.tsc, noise: m.ownNoise, counters: m.Counters.Snapshot()}
+}
+
+// Restore rewinds the execution state to a checkpoint taken on this
+// machine (or on a machine whose memory image is bit-identical): the clock
+// and noise stream are set back, the counter bank is restored, and the
+// translation caches are emptied — the same canonical state runSweep
+// leaves, so everything that runs after a Restore is a pure function of
+// (memory image, checkpoint), never of what ran in between. The caller
+// guarantees nothing mutated the address spaces or user memory since the
+// checkpoint (probe-only attacks never do).
+func (m *Machine) Restore(c Checkpoint) {
+	m.tsc = c.tsc
+	m.ownNoise = c.noise
+	m.noise = &m.ownNoise
+	m.Counters = c.counters
+	m.ResetTranslationState()
 }
 
 // ResetTranslationState empties the TLB, the paging-structure caches and
@@ -736,14 +776,24 @@ func (m *Machine) EvictTLB() {
 // sweep (~a dozen conflicting loads), it is what makes the AMD per-probe
 // eviction affordable (§IV-B's 1.91 ms probing).
 func (m *Machine) EvictTranslation(va paging.VirtAddr) {
-	m.TLB.Invalidate(va)
-	m.PSC.Flush()
 	// Reuse the machine's walk scratch buffer: the AMD term-level sweep
 	// issues one targeted eviction per sample, and a per-call Visited
 	// allocation here dominated that sweep's host cost.
 	w := m.UserAS.Translate(paging.PageBase(va, paging.Page4K), m.visitBuf)
 	m.visitBuf = w.Visited
-	for i, frame := range w.Visited {
+	m.evictWalkLines(va, w.Visited)
+}
+
+// evictWalkLines is the mutation-and-cost half of EvictTranslation: it
+// displaces va's TLB and paging-structure-cache state plus the cache lines
+// of the given walk frames, and charges the attacker's conflict-set loads.
+// The walk itself is the caller's: MeasureEvictedBatch hoists it out of the
+// per-sample loop (the walk is a pure read of the address space, so one
+// walk serves every sample of a VA).
+func (m *Machine) evictWalkLines(va paging.VirtAddr, visited []phys.PFN) {
+	m.TLB.Invalidate(va)
+	m.PSC.Flush()
+	for i, frame := range visited {
 		idx := entryIndexAt(va, paging.Level(i+1))
 		m.PTELines.Evict(frame, idx)
 	}

@@ -11,6 +11,7 @@ package paging
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/phys"
 )
@@ -151,16 +152,19 @@ type AddressSpace struct {
 	ASID uint16
 }
 
-var nextASID uint16
+// nextASID is atomic: the service layer boots victim machines from
+// concurrent executors. Only ASID *distinctness* is observable (TLB tag
+// equality), so the allocation order — and therefore the concrete values —
+// never affects simulation output.
+var nextASID atomic.Uint32
 
 // NewAddressSpace creates an empty address space drawing page-table frames
 // from alloc.
 func NewAddressSpace(alloc *phys.Allocator) *AddressSpace {
-	nextASID++
 	return &AddressSpace{
 		alloc: alloc,
 		root:  &table{frame: alloc.Alloc()},
-		ASID:  nextASID,
+		ASID:  uint16(nextASID.Add(1)),
 	}
 }
 

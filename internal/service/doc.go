@@ -1,0 +1,39 @@
+// Package service is the attack-as-a-service layer over the pooled scan
+// engine: it accepts attack jobs (kernel base, KPTI trampoline, module
+// enumeration, Windows region scan, §IV-F user scan, cloud scenarios),
+// schedules them on a bounded queue, and multiplexes them across executor
+// goroutines that share calibrated prober state — the subsystem that turns
+// the one-shot attack library into something that can serve sustained
+// mixed traffic.
+//
+// The layer cake, bottom to top:
+//
+//	machine   one simulated CPU+memory system (internal/machine)
+//	scan      the sharded, batched sweep engine (internal/scan)
+//	core      calibrated probers + the paper's attacks (internal/core)
+//	service   jobs, sessions, scheduling, stats (this package)
+//
+// Three kinds of state are reused across jobs, each with a determinism
+// contract that keeps service output bit-identical to direct core calls:
+//
+//   - Worker replicas: one core.ScanPool is shared by every executor, so
+//     concurrent scans draw calibrated prober replicas from a single free
+//     list and machine.Rebind re-syncs them per scan (pooled == fresh is
+//     enforced by the core parity suites).
+//   - Sessions: a booted victim + calibrated prober, cached per victim
+//     configuration (preset, boot parameters, seed). Before every job the
+//     session is rewound to its post-calibration checkpoint
+//     (core.Prober.Restore), so job N on a reused session replays the
+//     exact machine state job 1 saw.
+//   - Calibrations: the first session for a victim configuration records
+//     its thresholds and post-calibration execution state
+//     (core.Calibration); later sessions for the same configuration boot
+//     the victim and skip straight past calibration via
+//     core.NewProberFromCalibration, bit-identically.
+//
+// The result store streams completed jobs to subscribers and aggregates
+// the service-level metrics (success rate, jobs/s, p50/p99 host latency,
+// total simulated attacker time). cmd/scand exposes the scheduler over
+// HTTP and doubles as the load generator that records sustained-throughput
+// entries in BENCH_scan.json.
+package service

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/userspace"
+	"repro/internal/winkernel"
+)
+
+// execute runs one job on its session (nil for cloud jobs, which boot
+// their victim inside core.CloudBreak) with the scheduler's scan options.
+// Before the attack the session is rewound to its post-calibration
+// checkpoint, so the job observes the exact machine state a fresh
+// boot-and-calibrate would produce regardless of what ran on the session
+// before — the determinism contract the parity suite enforces.
+func execute(sess *session, spec JobSpec, opt core.Options) (*Result, error) {
+	if spec.Kind == KindCloud {
+		return executeCloud(spec, opt)
+	}
+	p := sess.p
+	p.Restore(sess.state)
+	p.Opt.Workers = opt.Workers
+	p.Opt.Pool = opt.Pool
+	preset := p.M.Preset
+
+	switch spec.Kind {
+	case KindKernelBase:
+		res, err := core.KernelBase(p)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Kind:        spec.Kind,
+			Correct:     res.Base == sess.kernel.Base,
+			Base:        uint64(res.Base),
+			ProbeSimSec: res.ProbeSeconds(preset),
+			TotalSimSec: res.TotalSeconds(preset),
+		}, nil
+
+	case KindKPTI:
+		res, err := core.KPTIBreak(p, spec.Trampoline)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Kind:        spec.Kind,
+			Correct:     res.Base == sess.kernel.Base,
+			Base:        uint64(res.Base),
+			ProbeSimSec: preset.CyclesToSeconds(res.ProbeCycles),
+			TotalSimSec: preset.CyclesToSeconds(res.TotalCycles),
+		}, nil
+
+	case KindModules:
+		table := core.SizeTable(sess.kernel.ProcModules())
+		res := core.Modules(p, table)
+		score := core.ScoreModules(res, sess.kernel.Modules, table)
+		regions := make([]Region, len(res.Regions))
+		for i, r := range res.Regions {
+			regions[i] = Region{
+				Start: uint64(r.Base),
+				End:   uint64(r.End()),
+				Class: strings.Join(r.Names, "|"),
+			}
+		}
+		return &Result{
+			Kind:        spec.Kind,
+			Correct:     score.DetectionAccuracy() >= 0.99,
+			Regions:     regions,
+			Accuracy:    score.DetectionAccuracy(),
+			ProbeSimSec: preset.CyclesToSeconds(res.ProbeCycles),
+			TotalSimSec: preset.CyclesToSeconds(res.TotalCycles),
+		}, nil
+
+	case KindWindows:
+		res, err := core.WindowsKernel(p, winkernel.ImageSlots)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Kind:        spec.Kind,
+			Correct:     res.RegionBase == sess.win.Base,
+			Base:        uint64(res.RegionBase),
+			RunSlots:    res.RunSlots,
+			ProbeSimSec: preset.CyclesToSeconds(res.ProbeCycles),
+			TotalSimSec: preset.CyclesToSeconds(res.TotalCycles),
+		}, nil
+
+	case KindUserScan:
+		start, end := sess.libWindow()
+		res := core.UserScan(p, start, end)
+		regions := make([]Region, len(res.Regions))
+		for i, r := range res.Regions {
+			regions[i] = Region{Start: uint64(r.Start), End: uint64(r.End), Class: r.Class.String()}
+		}
+		found := core.FingerprintLibraries(res.Regions, userspace.StandardLibraries())
+		fm := make(map[string]uint64, len(found))
+		for name, va := range found {
+			fm[name] = uint64(va)
+		}
+		correct := len(sess.proc.Libs) > 0
+		for _, lib := range sess.proc.Libs {
+			if fm[lib.Image.Name] != uint64(lib.Base) {
+				correct = false
+			}
+		}
+		return &Result{
+			Kind:        spec.Kind,
+			Correct:     correct,
+			Regions:     regions,
+			Found:       fm,
+			ProbeSimSec: preset.CyclesToSeconds(res.LoadCycles + res.StoreCycles),
+			TotalSimSec: preset.CyclesToSeconds(res.TotalCycles),
+		}, nil
+	}
+	return nil, fmt.Errorf("service: unknown job kind %q", spec.Kind)
+}
+
+// executeCloud runs a §IV-H scenario end to end (its own boot, prober and
+// scoring live inside core.CloudBreak).
+func executeCloud(spec JobSpec, opt core.Options) (*Result, error) {
+	prov := spec.cloudProvider()
+	res, err := core.CloudBreak(prov, spec.Seed, core.CloudBreakOptions{
+		AzureMaxSlot: spec.AzureMaxSlot,
+		Probe:        opt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc := core.Scenario(prov)
+	return &Result{
+		Kind:          spec.Kind,
+		Correct:       true, // CloudBreak verifies against ground truth internally
+		Base:          uint64(res.KernelBase),
+		ModulesFound:  res.ModulesFound,
+		ViaTrampoline: res.ViaTrampoline,
+		ProbeSimSec:   sc.Preset.CyclesToSeconds(res.BaseCycles),
+		TotalSimSec:   sc.Preset.CyclesToSeconds(res.BaseCycles + res.ModuleCycles),
+	}, nil
+}

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// NewHandler exposes a scheduler over HTTP — the scand daemon's API:
+//
+//	POST /jobs       submit a JobSpec (JSON body) → 202 {"id": N}
+//	GET  /jobs/{id}  job status + result
+//	GET  /stats      aggregate service stats
+//	POST /drain      stop accepting, run the queue dry (async) → 202
+//	GET  /healthz    liveness
+//
+// Rejections map to HTTP backpressure codes: 429 on a full queue, 503
+// while draining.
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+			return
+		}
+		j, err := s.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+		default:
+			// j.ID is immutable; the live Status belongs to the store (an
+			// executor may already be running the job).
+			writeJSON(w, http.StatusAccepted, map[string]any{"id": j.ID, "status": StatusQueued})
+		}
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad job id")
+			return
+		}
+		snap, ok := s.Store().Snapshot(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
+		go s.Drain()
+		writeJSON(w, http.StatusAccepted, map[string]any{"draining": true})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}

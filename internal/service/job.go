@@ -1,0 +1,226 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/linux"
+	"repro/internal/uarch"
+)
+
+// Kind names one attack workload the service schedules.
+type Kind string
+
+// The job kinds — one per attack scenario family of the paper.
+const (
+	// KindKernelBase derandomizes the Linux kernel text base (§IV-B;
+	// Intel P2 scan or AMD P3 term-level sweep, selected by the preset).
+	KindKernelBase Kind = "kernelbase"
+	// KindKPTI finds the KPTI trampoline and derives the base (§IV-D).
+	KindKPTI Kind = "kpti"
+	// KindModules enumerates and classifies kernel modules (§IV-C).
+	KindModules Kind = "modules"
+	// KindWindows recovers the Windows kernel region (§IV-G).
+	KindWindows Kind = "windows"
+	// KindUserScan runs the fused §IV-F load+store permission scan over a
+	// victim process's library area (optionally from inside SGX).
+	KindUserScan Kind = "userscan"
+	// KindCloud mounts a §IV-H provider scenario end to end.
+	KindCloud Kind = "cloud"
+)
+
+// Kinds lists every schedulable job kind.
+func Kinds() []Kind {
+	return []Kind{KindKernelBase, KindKPTI, KindModules, KindWindows, KindUserScan, KindCloud}
+}
+
+// JobSpec fully determines one attack job: the kind, the victim
+// configuration and the seed. A job is a pure function of its spec — the
+// same spec produces bit-identical results at any scheduler setting, which
+// is the service's core determinism contract.
+type JobSpec struct {
+	Kind Kind `json:"kind"`
+	// CPU selects the victim preset by name substring (uarch.ByName);
+	// empty picks the kind's default.
+	CPU string `json:"cpu,omitempty"`
+	// Seed drives victim boot randomization (KASLR slot, module layout,
+	// process ASLR) and, through the machine, every measurement.
+	Seed uint64 `json:"seed"`
+	// FLARE boots the Linux victim with FLARE dummy mappings (defense).
+	FLARE bool `json:"flare,omitempty"`
+	// Trampoline is the KPTI trampoline offset (kind kpti; 0 = the Ubuntu
+	// default).
+	Trampoline uint64 `json:"trampoline,omitempty"`
+	// Drivers is the Windows driver-image population (kind windows;
+	// 0 = 24, the cmd default).
+	Drivers int `json:"drivers,omitempty"`
+	// EntropyBits scales the user-ASLR entropy (kind userscan; 0 = 12, a
+	// service-friendly window — the paper's 28 bits extrapolate).
+	EntropyBits int `json:"entropy_bits,omitempty"`
+	// SGX runs the user scan from inside an enclave (kind userscan).
+	SGX bool `json:"sgx,omitempty"`
+	// Provider selects the cloud scenario: ec2 | gce | azure (kind cloud).
+	Provider string `json:"provider,omitempty"`
+	// AzureMaxSlot bounds the Azure region scan (kind cloud; 0 = full).
+	AzureMaxSlot int `json:"azure_max_slot,omitempty"`
+}
+
+// normalized fills the spec's kind defaults and validates it.
+func (s JobSpec) normalized() (JobSpec, error) {
+	switch s.Kind {
+	case KindKernelBase:
+		if s.CPU == "" {
+			s.CPU = "12400F"
+		}
+	case KindKPTI:
+		if s.CPU == "" {
+			s.CPU = "12400F"
+		}
+		if s.Trampoline == 0 {
+			s.Trampoline = linux.DefaultTrampolineOffset
+		}
+	case KindModules:
+		if s.CPU == "" {
+			s.CPU = "1065G7"
+		}
+	case KindWindows:
+		if s.CPU == "" {
+			s.CPU = "12400F"
+		}
+		if s.Drivers == 0 {
+			s.Drivers = 24
+		}
+	case KindUserScan:
+		if s.CPU == "" {
+			s.CPU = "1065G7"
+		}
+		if s.EntropyBits == 0 {
+			s.EntropyBits = 12
+		}
+	case KindCloud:
+		switch s.Provider {
+		case "ec2", "gce", "azure":
+		default:
+			return s, fmt.Errorf("service: cloud job needs provider ec2|gce|azure, got %q", s.Provider)
+		}
+		return s, nil // the scenario fixes the preset
+	default:
+		return s, fmt.Errorf("service: unknown job kind %q", s.Kind)
+	}
+	if uarch.ByName(s.CPU) == nil {
+		return s, fmt.Errorf("service: no CPU preset matches %q", s.CPU)
+	}
+	return s, nil
+}
+
+// cloudProvider maps the spec's provider string (kind cloud only).
+func (s JobSpec) cloudProvider() core.CloudProvider {
+	switch s.Provider {
+	case "gce":
+		return core.GoogleGCE
+	case "azure":
+		return core.MicrosoftAzure
+	default:
+		return core.AmazonEC2
+	}
+}
+
+// victimKey identifies the victim a job runs against: every field that
+// shapes the booted machine, the victim OS/process image or the
+// calibration. Jobs with equal keys can share a cached session (and the
+// cached calibration); the attack kind itself is deliberately *not* part
+// of the key where victims coincide — a kernel-base job and a modules job
+// against the same Linux boot multiplex onto one session.
+func (s JobSpec) victimKey() string {
+	switch s.Kind {
+	case KindKernelBase, KindModules:
+		return fmt.Sprintf("linux|%s|seed=%d|flare=%v", s.CPU, s.Seed, s.FLARE)
+	case KindKPTI:
+		return fmt.Sprintf("linux+kpti|%s|seed=%d|flare=%v|tramp=%#x", s.CPU, s.Seed, s.FLARE, s.Trampoline)
+	case KindWindows:
+		return fmt.Sprintf("windows|%s|seed=%d|drivers=%d", s.CPU, s.Seed, s.Drivers)
+	case KindUserScan:
+		return fmt.Sprintf("user|%s|seed=%d|entropy=%d|sgx=%v", s.CPU, s.Seed, s.EntropyBits, s.SGX)
+	default: // cloud boots inside CloudBreak; no session sharing
+		return ""
+	}
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job states.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Region is one recovered address-space region in a result payload.
+type Region struct {
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+	// Class is the recovered classification: a permission class (userscan)
+	// or the module-name candidates (modules).
+	Class string `json:"class,omitempty"`
+}
+
+// Result is the deterministic payload of one completed job: everything in
+// it is a pure function of the JobSpec — the service parity suite holds
+// these fields bit-identical to direct core.* calls at any worker/pool
+// setting. Host-side metrics (queue latency, run latency) live on the Job.
+type Result struct {
+	Kind    Kind `json:"kind"`
+	Correct bool `json:"correct"`
+	// Base is the recovered base address (kernelbase, kpti, windows,
+	// cloud).
+	Base uint64 `json:"base,omitempty"`
+	// RunSlots is the detected run length (windows).
+	RunSlots int `json:"run_slots,omitempty"`
+	// Regions holds recovered regions (modules, userscan).
+	Regions []Region `json:"regions,omitempty"`
+	// Found maps fingerprinted library names to bases (userscan).
+	Found map[string]uint64 `json:"found,omitempty"`
+	// Accuracy is the per-module detection accuracy (modules).
+	Accuracy float64 `json:"accuracy,omitempty"`
+	// ModulesFound counts detected module regions (cloud, Linux guests).
+	ModulesFound int `json:"modules_found,omitempty"`
+	// ViaTrampoline reports the KPTI path (cloud/ec2).
+	ViaTrampoline bool `json:"via_trampoline,omitempty"`
+	// ProbeSimSec and TotalSimSec are the simulated attacker runtimes in
+	// seconds (the Table I probing/total split).
+	ProbeSimSec float64 `json:"probe_sim_sec"`
+	TotalSimSec float64 `json:"total_sim_sec"`
+}
+
+// Job is one scheduled attack: spec, lifecycle and result. Mutable fields
+// are guarded by the Store that owns the job.
+type Job struct {
+	ID   uint64  `json:"id"`
+	Spec JobSpec `json:"spec"`
+
+	Status Status  `json:"status"`
+	Err    string  `json:"error,omitempty"`
+	Result *Result `json:"result,omitempty"`
+	// ReusedSession and ReusedCalibration report what the session cache
+	// contributed (host-side provenance, not part of the payload).
+	ReusedSession     bool `json:"reused_session,omitempty"`
+	ReusedCalibration bool `json:"reused_calibration,omitempty"`
+
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+
+	done chan struct{}
+}
+
+// Done returns a channel closed when the job completes (done or failed).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// QueueLatency and RunLatency split the job's host wall-clock.
+func (j *Job) QueueLatency() time.Duration { return j.Started.Sub(j.Submitted) }
+
+// RunLatency returns the executor wall-clock of a finished job.
+func (j *Job) RunLatency() time.Duration { return j.Finished.Sub(j.Started) }

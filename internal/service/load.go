@@ -1,0 +1,194 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultMix is the standard mixed-scenario workload of the load
+// generator: every attack family, both vendors, bare metal and SGX — the
+// scenario-diversity axis the service layer exists to multiplex. Seeds are
+// assigned per submission (base seed + job index), so a load run sweeps
+// victims, not just repeats one.
+func DefaultMix() []JobSpec {
+	return []JobSpec{
+		{Kind: KindKernelBase, CPU: "12400F"},
+		{Kind: KindKernelBase, CPU: "5600X"}, // AMD term-level sweep
+		{Kind: KindKPTI, CPU: "12400F"},
+		{Kind: KindModules, CPU: "1065G7"},
+		{Kind: KindUserScan, CPU: "1065G7"},
+		{Kind: KindUserScan, CPU: "1065G7", SGX: true},
+		{Kind: KindKernelBase, CPU: "9900"}, // Coffee Lake victim
+		{Kind: KindCloud, Provider: "gce"},
+	}
+}
+
+// LoadConfig tunes a load-generator run.
+type LoadConfig struct {
+	// Jobs is the total number of submissions (default 64).
+	Jobs int
+	// Concurrency is the number of concurrent submitters (default 8) —
+	// each keeps one job in flight, resubmitting on queue-full
+	// backpressure.
+	Concurrency int
+	// Seed is the base victim seed (default 1).
+	Seed uint64
+	// Victims is the size of the victim pool the run cycles through: job i
+	// runs at Seed + i mod Victims (default 16). Smaller pools mean more
+	// repeat scans — more session and calibration reuse; Victims >= Jobs
+	// makes every job a fresh victim.
+	Victims int
+	// Mix is the scenario rotation (default DefaultMix).
+	Mix []JobSpec
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	Jobs        int     `json:"jobs"`
+	Concurrency int     `json:"concurrency"`
+	WallSec     float64 `json:"wall_sec"`
+	Retries     int     `json:"retries"` // queue-full resubmissions
+	// SubmitErrors counts submissions the scheduler rejected outright
+	// (invalid spec); those jobs are skipped, not retried.
+	SubmitErrors int   `json:"submit_errors,omitempty"`
+	Stats        Stats `json:"stats"`
+}
+
+// RunLoad hammers the scheduler with cfg.Jobs submissions drawn from the
+// mix and waits for all of them: the sustained-traffic harness behind
+// `scand -load` and the race/throughput suite. Queue-full rejections are
+// retried after a short backoff, so the bounded queue is continuously
+// saturated without ever blocking inside Submit.
+func RunLoad(s *Scheduler, cfg LoadConfig) LoadReport {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 64
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Victims <= 0 {
+		cfg.Victims = 16
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = DefaultMix()
+	}
+
+	start := time.Now()
+	var (
+		next      int
+		retries   int
+		subErrors int
+		mu        sync.Mutex
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				if i >= cfg.Jobs {
+					mu.Unlock()
+					return
+				}
+				next++
+				mu.Unlock()
+				spec := cfg.Mix[i%len(cfg.Mix)]
+				spec.Seed = cfg.Seed + uint64(i%cfg.Victims)
+				for {
+					j, err := s.Submit(spec)
+					if err == nil {
+						<-j.Done()
+						break
+					}
+					if err == ErrDraining {
+						return
+					}
+					if err != ErrQueueFull {
+						// Validation errors are permanent: retrying would
+						// livelock. Skip the job and keep the run going.
+						mu.Lock()
+						subErrors++
+						mu.Unlock()
+						break
+					}
+					mu.Lock()
+					retries++
+					mu.Unlock()
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return LoadReport{
+		Jobs:         cfg.Jobs,
+		Concurrency:  cfg.Concurrency,
+		WallSec:      time.Since(start).Seconds(),
+		Retries:      retries,
+		SubmitErrors: subErrors,
+		Stats:        s.Stats(),
+	}
+}
+
+// benchEntry mirrors the newline-delimited JSON schema scripts/bench.sh
+// appends to BENCH_scan.json, so load-run throughput lands in the same
+// trajectory file the probe benchmarks use (bench_compare skips entries
+// with disjoint benchmark sets).
+type benchEntry struct {
+	Date       string           `json:"date"`
+	Pattern    string           `json:"pattern"`
+	NumCPU     int              `json:"num_cpu"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Benchmarks []benchBenchmark `json:"benchmarks"`
+}
+
+type benchBenchmark struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	JobsPerSec float64 `json:"jobs/s"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	SimSec     float64 `json:"sim_attacker_s"`
+	Sessions   int     `json:"sessions"`
+	CalReused  int     `json:"calibrations_reused"`
+}
+
+// AppendBench appends the load report as one BENCH_scan.json entry.
+func AppendBench(path string, r LoadReport) error {
+	e := benchEntry{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Pattern:    "scand-load",
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: []benchBenchmark{{
+			Name:       fmt.Sprintf("LoadMixed/jobs=%d/conc=%d", r.Jobs, r.Concurrency),
+			Iterations: r.Jobs,
+			JobsPerSec: r.Stats.JobsPerSec,
+			P50Ms:      r.Stats.P50Ms,
+			P99Ms:      r.Stats.P99Ms,
+			SimSec:     r.Stats.SimAttackerSec,
+			Sessions:   r.Stats.Sessions,
+			CalReused:  r.Stats.CalibrationsReused,
+		}},
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(line, '\n'))
+	return err
+}

@@ -1,0 +1,205 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull reports the bounded queue rejecting a job
+	// (backpressure: the caller retries or sheds load).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining reports a scheduler that no longer accepts jobs.
+	ErrDraining = errors.New("service: scheduler draining")
+)
+
+// Config tunes a Scheduler.
+type Config struct {
+	// Executors is the number of concurrent job executors (goroutines
+	// running attacks). 0 means GOMAXPROCS.
+	Executors int
+	// QueueDepth bounds the submission queue. 0 means 64.
+	QueueDepth int
+	// ScanWorkers is the per-job scan-engine parallelism
+	// (core.Options.Workers): 0 runs each job's sweeps inline on its
+	// session machine; >= 1 fans sweep chunks across that many pooled
+	// replicas. Results are bit-identical at every setting.
+	ScanWorkers int
+	// FreshWorkers disables the shared scan pool (every sweep clones fresh
+	// replicas). Pooled and fresh results are bit-identical; fresh exists
+	// for ablations and the parity suite.
+	FreshWorkers bool
+	// MaxIdleSessions bounds the session cache (0 means 2×Executors).
+	MaxIdleSessions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Executors <= 0 {
+		c.Executors = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.ScanWorkers < 0 {
+		c.ScanWorkers = runtime.NumCPU()
+	}
+	if c.MaxIdleSessions <= 0 {
+		// Floor of 16: a session is small next to the victims it saves
+		// re-booting, and load mixes cycle through a victim pool wider
+		// than the executor count.
+		c.MaxIdleSessions = 2 * c.Executors
+		if c.MaxIdleSessions < 16 {
+			c.MaxIdleSessions = 16
+		}
+	}
+	return c
+}
+
+// Scheduler accepts attack jobs on a bounded queue and dispatches them
+// onto executor goroutines that share a session cache and one scan-engine
+// worker pool. Construct with New, submit with Submit, stop with Drain.
+type Scheduler struct {
+	cfg   Config
+	pool  *core.ScanPool
+	cache *sessionCache
+	store *Store
+
+	queue  chan *Job
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// New starts a scheduler with cfg.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		cfg:   cfg,
+		cache: newSessionCache(cfg.MaxIdleSessions),
+		store: NewStore(),
+		queue: make(chan *Job, cfg.QueueDepth),
+	}
+	if !cfg.FreshWorkers {
+		s.pool = core.NewScanPool()
+	}
+	for i := 0; i < cfg.Executors; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// Store exposes the scheduler's result store (status, results, streams,
+// aggregate stats).
+func (s *Scheduler) Store() *Store { return s.store }
+
+// Config returns the scheduler's normalized configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// scanOptions returns the per-job core options the scheduler's
+// configuration implies.
+func (s *Scheduler) scanOptions() core.Options {
+	return core.Options{Workers: s.cfg.ScanWorkers, Pool: s.pool}
+}
+
+// Submit validates and enqueues a job. It never blocks: a full queue
+// returns ErrQueueFull, a draining scheduler ErrDraining.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	norm, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		ID:        s.nextID.Add(1),
+		Spec:      norm,
+		Status:    StatusQueued,
+		Submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.store.reject()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.store.reject()
+		return nil, ErrQueueFull
+	}
+	// Registered after a successful enqueue, inside the lock so Drain
+	// cannot close the queue between the reservation and the send.
+	s.store.add(j)
+	s.mu.Unlock()
+	return j, nil
+}
+
+// Wait blocks until the job finishes and returns its result.
+func (s *Scheduler) Wait(j *Job) (*Result, error) {
+	<-j.Done()
+	snap, _ := s.store.Snapshot(j.ID)
+	if snap.Status == StatusFailed {
+		return nil, fmt.Errorf("service: job %d: %s", j.ID, snap.Err)
+	}
+	return snap.Result, nil
+}
+
+// Drain stops accepting new jobs, runs the queue dry and waits for every
+// executor to finish — the daemon's graceful-shutdown path. Safe to call
+// more than once.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats returns the aggregate service metrics.
+func (s *Scheduler) Stats() Stats {
+	st := s.store.Stats()
+	st.Sessions, st.CalibrationsReused = s.cache.stats()
+	if s.pool != nil {
+		st.PoolReplicas = s.pool.Replicas()
+	}
+	return st
+}
+
+// executor is one job-running goroutine: it pulls jobs off the queue,
+// binds a session (except for cloud jobs) and executes the attack.
+func (s *Scheduler) executor() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.store.markRunning(j)
+		var sess *session
+		var reused bool
+		var err error
+		if j.Spec.Kind != KindCloud {
+			sess, reused, err = s.cache.acquire(j.Spec)
+		}
+		if err != nil {
+			s.store.complete(j, nil, err)
+			continue
+		}
+		if sess != nil {
+			s.store.setProvenance(j, reused, sess.cachedCal)
+		}
+		res, err := execute(sess, j.Spec, s.scanOptions())
+		s.cache.release(sess)
+		s.store.complete(j, res, err)
+	}
+}

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/paging"
+	"repro/internal/sgx"
+	"repro/internal/uarch"
+	"repro/internal/userspace"
+	"repro/internal/winkernel"
+)
+
+// victim bundles a booted target machine with the ground-truth handles the
+// job executor scores against.
+type victim struct {
+	m      *machine.Machine
+	kernel *linux.Kernel      // linux-class victims
+	win    *winkernel.Kernel  // windows-class victims
+	proc   *userspace.Process // user-class victims
+}
+
+// session is a victim plus a calibrated prober, rewound to its
+// post-calibration checkpoint between jobs. A session executes one job at
+// a time; the cache hands each session to exactly one executor.
+type session struct {
+	key string
+	victim
+	p *core.Prober
+	// state is the post-calibration execution checkpoint every job on this
+	// session starts from.
+	state core.SessionState
+	// cachedCal reports the session skipped Calibrate via the calibration
+	// cache.
+	cachedCal bool
+}
+
+// sessionCache pools sessions per victim key and caches calibrations so a
+// fresh session for a known victim configuration skips threshold
+// calibration entirely (bit-identically — see core.NewProberFromCalibration).
+type sessionCache struct {
+	mu   sync.Mutex
+	free map[string][]*session
+	cals map[string]core.Calibration
+	// made counts sessions ever built; calHits counts calibrations skipped.
+	made    int
+	calHits int
+	// max bounds the number of idle sessions kept (0 = unbounded).
+	max  int
+	idle int
+}
+
+func newSessionCache(max int) *sessionCache {
+	return &sessionCache{
+		free: make(map[string][]*session),
+		cals: make(map[string]core.Calibration),
+		max:  max,
+	}
+}
+
+// acquire returns a session for the spec's victim, reusing an idle one
+// when available and building (boot + calibrate-or-replay) otherwise. The
+// returned flag reports reuse. Callers must release the session after the
+// job.
+func (c *sessionCache) acquire(spec JobSpec) (*session, bool, error) {
+	key := spec.victimKey()
+	c.mu.Lock()
+	if list := c.free[key]; len(list) > 0 {
+		s := list[len(list)-1]
+		list[len(list)-1] = nil
+		c.free[key] = list[:len(list)-1]
+		c.idle--
+		c.mu.Unlock()
+		return s, true, nil
+	}
+	cal, haveCal := c.cals[key]
+	c.mu.Unlock()
+
+	// Boot outside the lock: victim construction is the expensive part and
+	// concurrent executors must not serialize on it.
+	s, err := buildSession(spec, cal, haveCal)
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	c.made++
+	if haveCal {
+		c.calHits++
+	} else if _, ok := c.cals[key]; !ok {
+		c.cals[key] = s.p.CalibrationSnapshot()
+	}
+	c.mu.Unlock()
+	return s, false, nil
+}
+
+// release parks the session for reuse (or drops it when the idle cap is
+// reached).
+func (c *sessionCache) release(s *session) {
+	if s == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max > 0 && c.idle >= c.max {
+		return // drop; the calibration cache still covers the next boot
+	}
+	c.free[s.key] = append(c.free[s.key], s)
+	c.idle++
+}
+
+// stats returns (sessions built, calibrations skipped).
+func (c *sessionCache) stats() (made, calHits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.made, c.calHits
+}
+
+// buildSession boots the spec's victim and produces a calibrated prober —
+// via the cached calibration when one is supplied, via core.NewProber
+// otherwise. The construction sequence per victim class is exactly the
+// direct-call recipe (cmd/avxattack, the examples), which is what makes
+// service results bit-identical to direct core calls.
+func buildSession(spec JobSpec, cal core.Calibration, haveCal bool) (*session, error) {
+	preset := uarch.ByName(spec.CPU)
+	if preset == nil {
+		return nil, fmt.Errorf("service: no CPU preset matches %q", spec.CPU)
+	}
+	m := machine.New(preset, spec.Seed)
+	v := victim{m: m}
+	switch spec.Kind {
+	case KindKernelBase, KindModules, KindKPTI:
+		k, err := linux.Boot(m, linux.Config{
+			Seed:             spec.Seed,
+			KPTI:             spec.Kind == KindKPTI,
+			FLARE:            spec.FLARE,
+			TrampolineOffset: spec.Trampoline,
+		})
+		if err != nil {
+			return nil, err
+		}
+		v.kernel = k
+	case KindWindows:
+		wk, err := winkernel.Boot(m, winkernel.Config{Seed: spec.Seed, Drivers: spec.Drivers})
+		if err != nil {
+			return nil, err
+		}
+		v.win = wk
+	case KindUserScan:
+		if _, err := linux.Boot(m, linux.Config{Seed: spec.Seed}); err != nil {
+			return nil, err
+		}
+		proc, err := userspace.Build(m, userspace.Config{
+			Seed:           spec.Seed,
+			EntropyBits:    spec.EntropyBits,
+			HideLastRWPage: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		v.proc = proc
+		if spec.SGX {
+			// The enclave stays entered for the session's lifetime; the
+			// checkpoint below captures the in-enclave state.
+			if _, err := sgx.Enter(m, sgx.RDTSC); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("service: kind %q does not use sessions", spec.Kind)
+	}
+
+	s := &session{key: spec.victimKey(), victim: v}
+	if haveCal {
+		s.p = core.NewProberFromCalibration(m, core.Options{}, cal)
+		s.cachedCal = true
+		s.state = cal.State
+	} else {
+		p, err := core.NewProber(m, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s.p = p
+		s.state = p.Checkpoint()
+	}
+	return s, nil
+}
+
+// libWindow returns the §IV-F scan range of the session's process: the
+// library area with the same margins the sgxbreak example and cmd use.
+func (s *session) libWindow() (paging.VirtAddr, paging.VirtAddr) {
+	libs := s.proc.Libs
+	return libs[0].Base - 16*paging.Page4K, libs[len(libs)-1].End() + 8*paging.Page4K
+}

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the latency history the quantiles cover: a ring of
+// the most recent completions, so a long-running daemon neither grows the
+// history without bound nor sorts an ever-longer slice under the store
+// lock on every /stats poll.
+const latencyWindow = 4096
+
+// Store is the streaming result store: it owns every job the scheduler has
+// accepted, streams completions to subscribers, and aggregates the
+// service-level metrics.
+type Store struct {
+	mu   sync.Mutex
+	jobs map[uint64]*Job
+	// latencies rings the last latencyWindow finished jobs' end-to-end
+	// host latencies (submit → finish); latNext is the overwrite cursor
+	// once the ring is full.
+	latencies []time.Duration
+	latNext   int
+	firstSub  time.Time
+	lastDone  time.Time
+	completed int
+	failed    int
+	correct   int
+	rejected  int
+	simSec    float64
+	subs      map[int]chan *Job
+	nextSub   int
+	dropped   int
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{jobs: make(map[uint64]*Job), subs: make(map[int]chan *Job)}
+}
+
+// add registers a freshly submitted job.
+func (st *Store) add(j *Job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.jobs[j.ID] = j
+	if st.firstSub.IsZero() || j.Submitted.Before(st.firstSub) {
+		st.firstSub = j.Submitted
+	}
+}
+
+// reject counts a submission turned away (queue full / draining).
+func (st *Store) reject() {
+	st.mu.Lock()
+	st.rejected++
+	st.mu.Unlock()
+}
+
+// markRunning transitions a job to running.
+func (st *Store) markRunning(j *Job) {
+	st.mu.Lock()
+	j.Status = StatusRunning
+	j.Started = time.Now()
+	st.mu.Unlock()
+}
+
+// setProvenance records what the session cache contributed, under the
+// store lock so concurrent Snapshot calls never race the executor.
+func (st *Store) setProvenance(j *Job, reusedSession, reusedCalibration bool) {
+	st.mu.Lock()
+	j.ReusedSession = reusedSession
+	j.ReusedCalibration = reusedCalibration
+	st.mu.Unlock()
+}
+
+// complete finishes a job (result or error), updates the aggregates and
+// streams the job to subscribers.
+func (st *Store) complete(j *Job, res *Result, err error) {
+	st.mu.Lock()
+	j.Finished = time.Now()
+	if err != nil {
+		j.Status = StatusFailed
+		j.Err = err.Error()
+		st.failed++
+	} else {
+		j.Status = StatusDone
+		j.Result = res
+		st.completed++
+		if res.Correct {
+			st.correct++
+		}
+		st.simSec += res.TotalSimSec
+	}
+	if lat := j.Finished.Sub(j.Submitted); len(st.latencies) < latencyWindow {
+		st.latencies = append(st.latencies, lat)
+	} else {
+		st.latencies[st.latNext] = lat
+		st.latNext = (st.latNext + 1) % latencyWindow
+	}
+	if j.Finished.After(st.lastDone) {
+		st.lastDone = j.Finished
+	}
+	for _, ch := range st.subs {
+		select {
+		case ch <- j:
+		default:
+			st.dropped++ // a slow subscriber never stalls the executors
+		}
+	}
+	st.mu.Unlock()
+	close(j.done)
+}
+
+// Get returns a job by ID.
+func (st *Store) Get(id uint64) (*Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// Snapshot returns a copy of a job's current public state, safe to
+// marshal while executors keep running.
+func (st *Store) Snapshot(id uint64) (Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Subscribe registers a completion stream with the given buffer.
+// Completions arriving while the buffer is full are dropped for that
+// subscriber (counted in Stats.StreamDropped). cancel unregisters.
+func (st *Store) Subscribe(buf int) (stream <-chan *Job, cancel func()) {
+	if buf <= 0 {
+		buf = 16
+	}
+	ch := make(chan *Job, buf)
+	st.mu.Lock()
+	id := st.nextSub
+	st.nextSub++
+	st.subs[id] = ch
+	st.mu.Unlock()
+	return ch, func() {
+		st.mu.Lock()
+		delete(st.subs, id)
+		st.mu.Unlock()
+	}
+}
+
+// Stats is the aggregate service view.
+type Stats struct {
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Rejected  int `json:"rejected"`
+	// SuccessRate is correct/completed.
+	SuccessRate float64 `json:"success_rate"`
+	// JobsPerSec is finished jobs over the first-submit → last-finish wall
+	// span.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// P50Ms / P99Ms are end-to-end (queue + run) host latency quantiles.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// SimAttackerSec totals the jobs' simulated attacker time: the cost the
+	// victims' hardware paid, as opposed to the host wall-clock the service
+	// paid.
+	SimAttackerSec float64 `json:"sim_attacker_sec"`
+	// Sessions / CalibrationsReused / PoolReplicas report reuse (filled by
+	// the scheduler).
+	Sessions           int `json:"sessions"`
+	CalibrationsReused int `json:"calibrations_reused"`
+	PoolReplicas       int `json:"pool_replicas"`
+	StreamDropped      int `json:"stream_dropped,omitempty"`
+}
+
+// Stats computes the current aggregates. The latency quantiles cover the
+// last latencyWindow completions; the (bounded) copy is taken under the
+// lock, the sort happens outside it so stats polling never stalls the
+// executors' complete path.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	s := Stats{
+		Submitted:      len(st.jobs),
+		Completed:      st.completed,
+		Failed:         st.failed,
+		Rejected:       st.rejected,
+		SimAttackerSec: st.simSec,
+		StreamDropped:  st.dropped,
+	}
+	if st.completed > 0 {
+		s.SuccessRate = float64(st.correct) / float64(st.completed)
+	}
+	finished := st.completed + st.failed
+	if finished > 0 && st.lastDone.After(st.firstSub) {
+		s.JobsPerSec = float64(finished) / st.lastDone.Sub(st.firstSub).Seconds()
+	}
+	sorted := append([]time.Duration(nil), st.latencies...)
+	st.mu.Unlock()
+
+	if len(sorted) > 0 {
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.P50Ms = quantile(sorted, 0.50).Seconds() * 1e3
+		s.P99Ms = quantile(sorted, 0.99).Seconds() * 1e3
+	}
+	return s
+}
+
+// quantile returns the nearest-rank quantile of a sorted sample.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -14,12 +14,15 @@ if [ ! -f "$file" ]; then
     echo "bench_compare: $file not found (run make bench first)" >&2
     exit 1
 fi
-if [ "$(wc -l < "$file")" -lt 2 ]; then
-    echo "bench_compare: need at least two runs in $file to compare" >&2
+# Count entries, not raw newlines: a final line without a trailing newline
+# is still an entry, and blank lines are not.
+entries="$(grep -c '{' "$file" || true)"
+if [ "$entries" -lt 2 ]; then
+    echo "bench_compare: only $entries run(s) recorded in $file — need two to compare (run make bench again)" >&2
     exit 0
 fi
 
-tail -n 2 "$file" | awk -v strict="${STRICT:-0}" '
+grep '{' "$file" | tail -n 2 | awk -v strict="${STRICT:-0}" '
 # Pull one scalar field out of a JSON object string.
 function field(s, key,    re, v) {
     re = "\"" key "\":[^,}]*"
@@ -49,6 +52,7 @@ function field(s, key,    re, v) {
 END {
     printf "comparing %s (cpus=%s) -> %s (cpus=%s)\n", date[1], cpu[1], date[2], cpu[2]
     worst = 0
+    compared = 0
     for (name in names) {
         if (!((1, name) in rate) || rate[1, name] == 0) continue
         old = rate[1, name]; new = rate[2, name]
@@ -56,7 +60,14 @@ END {
         mark = ""
         if (pct < -10) { mark = "  <-- REGRESSION"; bad++ }
         if (pct < worst) worst = pct
+        compared++
         printf "  %-40s %12.0f -> %12.0f probes/s  (%+6.1f%%)%s\n", name, old, new, pct, mark
+    }
+    if (compared == 0) {
+        # Disjoint benchmark sets: e.g. a scand-load throughput entry next
+        # to a probe-bench entry. Nothing comparable is not a regression.
+        print "bench_compare: the last two runs share no probes/s benchmarks (disjoint sets) — nothing to compare"
+        exit 0
     }
     if (bad > 0) {
         printf "bench_compare: %d benchmark(s) regressed >10%% in probes/s (worst %.1f%%)\n", bad, worst
