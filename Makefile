@@ -16,14 +16,18 @@
 #   make load      - run the scand load generator (mixed attack scenarios
 #                    through the service scheduler) and append a jobs/s +
 #                    p50/p99 latency entry to BENCH_scan.json
+#   make load-smoke - a short scand -load pass (mixed workload incl. the
+#                    stateful behaviorspy/appfingerprint kinds, nothing
+#                    recorded) — the CI smoke that the whole service stack
+#                    serves every kind end to end
 
 GO ?= go
 
-.PHONY: all vet test test-race ci bench bench-all bench-compare load
+.PHONY: all vet test test-race ci bench bench-all bench-compare load load-smoke
 
 all: vet test
 
-ci: vet test test-race
+ci: vet test test-race load-smoke bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -36,7 +40,7 @@ test-race:
 	$(GO) test -race ./...
 
 bench: vet test
-	./scripts/bench.sh 'BenchmarkScan|BenchmarkUserScan|BenchmarkTermSweep|BenchmarkExecMasked|BenchmarkProbeMapped|BenchmarkProbeBatch'
+	./scripts/bench.sh 'BenchmarkScan|BenchmarkUserScan|BenchmarkTermSweep|BenchmarkBehaviorSpy|BenchmarkExecMasked|BenchmarkProbeMapped|BenchmarkProbeBatch'
 
 bench-all: vet test
 	./scripts/bench.sh '.'
@@ -46,3 +50,6 @@ bench-compare:
 
 load:
 	$(GO) run ./cmd/scand -load -scan-workers 2
+
+load-smoke:
+	$(GO) run ./cmd/scand -load -jobs 30 -concurrency 6 -victims 5 -scan-workers 2 -bench-out ''

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/avx"
 	"repro/internal/baseline"
+	"repro/internal/behavior"
 	"repro/internal/core"
 	"repro/internal/defense"
 	"repro/internal/experiments"
@@ -357,6 +358,48 @@ func BenchmarkUserScanFused(b *testing.B) {
 	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			benchUserScan(b, workers, core.UserScan)
+		})
+	}
+}
+
+// BenchmarkBehaviorSpy measures the engine-based §IV-E behavior spy: a
+// 100-tick (1 Hz, Figure 6 shape) window against the bluetooth+psmouse
+// victim, time-sharded across workers with a session pool. ticks/s is the
+// spy-tick throughput (each tick = driver replay + 2×10 page probes +
+// eviction); sim_ms is the simulated attacker time per window.
+func BenchmarkBehaviorSpy(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m := machine.New(uarch.IceLake1065G7(), 901)
+			k, err := linux.Boot(m, linux.Config{Seed: 901})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.NewProber(m, core.Options{Workers: workers, Pool: core.NewScanPool()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			targets, err := core.LocateTargets(core.Modules(p, core.SizeTable(k.ProcModules())), "bluetooth", "psmouse")
+			if err != nil {
+				b.Fatal(err)
+			}
+			bt := behavior.FixedTimeline(behavior.BluetoothAudio(), behavior.Interval{Start: 10, End: 40})
+			ms := behavior.FixedTimeline(behavior.MouseMovement(), behavior.Interval{Start: 50, End: 70})
+			drv, err := behavior.NewDriver(k, bt, ms)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spy := &core.BehaviorSpy{P: p, Targets: targets, PagesPerModule: 10, TickSec: 1}
+			const ticks = 100
+			b.ResetTimer()
+			t0 := m.RDTSC()
+			for i := 0; i < b.N; i++ {
+				if _, err := spy.RunWindow(drv, 0, ticks); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(m.Preset.CyclesToSeconds((m.RDTSC()-t0)/uint64(b.N))*1e3, "sim_ms")
+			b.ReportMetric(float64(ticks)*float64(b.N)/b.Elapsed().Seconds(), "ticks/s")
 		})
 	}
 }

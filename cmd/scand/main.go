@@ -1,21 +1,29 @@
 // Command scand is the attack-as-a-service daemon: it serves the job
 // scheduler of internal/service over HTTP, multiplexing concurrent attack
 // jobs (kernel base, KPTI, modules, Windows, §IV-F user scan, cloud
-// scenarios) across executor goroutines that share calibrated sessions and
-// one scan-engine worker pool.
+// scenarios, and the stateful §IV-E behaviorspy / appfingerprint kinds,
+// whose per-victim sessions carry a timeline across jobs) across executor
+// goroutines that share calibrated sessions and one scan-engine worker
+// pool. A job may pin its own sweep parallelism with "scan_workers"; the
+// result store is bounded (-store-max-jobs, -store-ttl) so a long-lived
+// daemon's memory stays flat while the aggregate stats keep counting.
 //
 // Daemon mode:
 //
 //	scand [-addr :8440] [-executors N] [-scan-workers N] [-queue N] [-fresh]
+//	      [-store-max-jobs N] [-store-ttl D]
 //
 //	POST /jobs       {"kind":"kernelbase","cpu":"12400F","seed":7}  → {"id":1}
+//	POST /jobs       {"kind":"behaviorspy","seed":7,"duration_sec":20}
+//	POST /jobs       {"kind":"appfingerprint","seed":7,"app":"fps-game","scan_workers":4}
 //	GET  /jobs/1     status + result
 //	GET  /stats      success rate, jobs/s, p50/p99 latency, reuse counters
 //	POST /drain      graceful drain (finish queued work, refuse new jobs)
 //
 // SIGINT/SIGTERM also drain before exiting. Load-generator mode hammers
-// the scheduler in-process with a mixed scenario workload and appends a
-// throughput entry to BENCH_scan.json:
+// the scheduler in-process with a mixed scenario workload (every kind,
+// both vendors, SGX, cloud, both temporal kinds) and appends a throughput
+// entry to BENCH_scan.json:
 //
 //	scand -load [-jobs 256] [-concurrency 64] [-victims 16] [-bench-out BENCH_scan.json]
 package main
@@ -47,6 +55,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		scanWorkers = fs.Int("scan-workers", 0, "scan-engine workers per job (0 = inline, negative = all CPUs)")
 		queue       = fs.Int("queue", 64, "bounded job-queue depth")
 		fresh       = fs.Bool("fresh", false, "disable the shared scan pool (fresh replicas per sweep)")
+		storeMax    = fs.Int("store-max-jobs", 0, "finished jobs retained in the result store (0 = default bound, negative = unbounded)")
+		storeTTL    = fs.Duration("store-ttl", 0, "evict finished jobs older than this (0 = no TTL)")
 		load        = fs.Bool("load", false, "run the load generator instead of the daemon")
 		jobs        = fs.Int("jobs", 256, "load: total jobs")
 		concurrency = fs.Int("concurrency", 64, "load: concurrent submitters")
@@ -66,6 +76,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		QueueDepth:   *queue,
 		ScanWorkers:  *scanWorkers,
 		FreshWorkers: *fresh,
+		Store:        service.StoreConfig{MaxJobs: *storeMax, TTL: *storeTTL},
 	}
 	s := service.New(cfg)
 

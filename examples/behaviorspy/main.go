@@ -28,8 +28,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The module-locating sweep runs on pooled worker replicas; the 1 Hz
-	// TLB probes of the spy phase run on the prober's own machine.
+	// Both the module-locating sweep AND the 1 Hz spy phase run sharded:
+	// the spy's time axis is chunked across the same pooled worker
+	// replicas, each replaying its chunk's victim events privately
+	// (behavior.Driver.ReplayWindow), with output bit-identical to the
+	// sequential loop at any worker count.
 	prober, err := core.NewProber(m, core.Options{Workers: runtime.NumCPU(), Pool: core.NewScanPool()})
 	if err != nil {
 		log.Fatal(err)
@@ -54,11 +57,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Phase 3: spy at 1 Hz for 100 s (the Figure 6 parameters).
+	// Phase 3: spy at 1 Hz for 100 s (the Figure 6 parameters), as two
+	// consecutive windows on one victim timeline — the same stateful-window
+	// shape the scand service schedules (one window per job, the session
+	// carrying the timeline position between jobs via machine snapshots).
 	spy := &core.BehaviorSpy{P: prober, Targets: targets, PagesPerModule: 10, TickSec: 1}
-	traces, err := spy.Run(driver, 100)
+	firstHalf, err := spy.RunWindow(driver, 0, 50)
 	if err != nil {
 		log.Fatal(err)
+	}
+	secondHalf, err := spy.RunWindow(driver, 50, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	traces := make([]core.SpyTrace, len(firstHalf))
+	for i := range firstHalf {
+		traces[i] = core.SpyTrace{
+			Module:  firstHalf[i].Module,
+			Samples: append(firstHalf[i].Samples, secondHalf[i].Samples...),
+		}
 	}
 
 	truth := []*behavior.Timeline{audio, mouse}

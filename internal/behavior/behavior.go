@@ -6,8 +6,11 @@ package behavior
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/linux"
+	"repro/internal/machine"
+	"repro/internal/paging"
 	"repro/internal/rng"
 )
 
@@ -85,33 +88,130 @@ func FixedTimeline(act Activity, on ...Interval) *Timeline {
 	return &Timeline{Activity: act, On: on}
 }
 
-// Driver replays one or more timelines against a booted kernel: at each
-// Step(t) call, every activity that is on at time t fires its events,
-// touching the module's pages (filling the TLB).
+// DefaultResolution is the driver's event-grid spacing in seconds: victim
+// activity fires once per grid point while a timeline is on (the paper's
+// Figure 6 samples at 1 Hz, so one victim burst per spy tick).
+const DefaultResolution = 1.0
+
+// Driver is a deterministic, seekable event source replaying one or more
+// timelines against a booted kernel. Victim events live on a fixed time
+// grid (multiples of Resolution): event k fires at time k*Resolution for
+// every timeline on at that instant, touching the module's leading pages —
+// which installs the module's translations in the TLB of whatever machine
+// the events are replayed against.
+//
+// The event schedule is a pure function of (timelines, resolution): it can
+// be replayed for any time window, on any machine sharing the victim's
+// address space, any number of times, in any order — the property the scan
+// engine's chunked workers rely on to reproduce driver-induced TLB fills
+// per time-window chunk. The driver's own cursor (AdvanceTo / Rewind /
+// Seek) only tracks position for callers that stream events onto the bound
+// machine; ReplayWindow never reads or moves it.
 type Driver struct {
 	k         *linux.Kernel
 	timelines []*Timeline
+	// touch caches each timeline's touched page VAs (module base through
+	// PagesTouched, clipped to the module), resolved once at construction so
+	// replay needs no per-event module lookups and cannot fail.
+	touch [][]paging.VirtAddr
+	res   float64
+	cur   float64
 }
 
-// NewDriver creates a driver for the kernel. Every timeline's module must
-// be loaded.
+// NewDriver creates a driver for the kernel with the default event
+// resolution. Every timeline's module must be loaded.
 func NewDriver(k *linux.Kernel, timelines ...*Timeline) (*Driver, error) {
+	d := &Driver{k: k, timelines: timelines, res: DefaultResolution}
 	for _, tl := range timelines {
-		if _, ok := k.Module(tl.Activity.Module); !ok {
+		lm, ok := k.Module(tl.Activity.Module)
+		if !ok {
 			return nil, fmt.Errorf("behavior: module %q not loaded", tl.Activity.Module)
 		}
+		var vas []paging.VirtAddr
+		for i := 0; i < tl.Activity.PagesTouched && uint64(i)<<12 < lm.Size; i++ {
+			vas = append(vas, lm.Base+paging.VirtAddr(uint64(i)<<12))
+		}
+		d.touch = append(d.touch, vas)
 	}
-	return &Driver{k: k, timelines: timelines}, nil
+	return d, nil
 }
 
-// Step advances the victim to time t (seconds since experiment start):
-// active modules handle their pending events and touch their pages.
-func (d *Driver) Step(t float64) error {
-	for _, tl := range d.timelines {
-		if tl.ActiveAt(t) {
-			if err := d.k.TouchModule(tl.Activity.Module, tl.Activity.PagesTouched); err != nil {
-				return err
+// Resolution returns the event-grid spacing in seconds.
+func (d *Driver) Resolution() float64 { return d.res }
+
+// SetResolution changes the event-grid spacing (call before any replay; it
+// redefines the whole schedule).
+func (d *Driver) SetResolution(res float64) {
+	if res > 0 {
+		d.res = res
+	}
+}
+
+// Now returns the driver's cursor: the time up to which AdvanceTo has
+// already fired events on the bound machine.
+func (d *Driver) Now() float64 { return d.cur }
+
+// Seek repositions the cursor without firing or unfiring anything — the
+// caller has replayed (or restored, via machine.Snapshot) the victim state
+// at time t by other means.
+func (d *Driver) Seek(t float64) { d.cur = t }
+
+// Rewind resets the cursor to the start of the experiment. Pair with
+// restoring the machine to its matching snapshot: replay after a Rewind is
+// then a pure function of (snapshot, seed).
+func (d *Driver) Rewind() { d.cur = 0 }
+
+// AdvanceTo fires every event in [Now(), t) on the bound kernel's machine
+// and moves the cursor to t. Advancing in chunks is equivalent to one big
+// advance: AdvanceTo(a) then AdvanceTo(b) replays exactly the events of
+// AdvanceTo(b) from the start.
+func (d *Driver) AdvanceTo(t float64) {
+	d.ReplayWindow(d.k.Machine(), d.cur, t)
+	d.cur = t
+}
+
+// ReplayWindow replays the events of the half-open window [t0, t1) against
+// an arbitrary machine sharing the victim's address space — a scan-engine
+// worker replica, the bound machine itself, anything. It is stateless
+// (cursor untouched), deterministic and idempotent-per-window, so chunked
+// workers can replay disjoint windows concurrently on their private
+// replicas: each replica's TLB sees exactly the fills the victim produced
+// in that window.
+func (d *Driver) ReplayWindow(m *machine.Machine, t0, t1 float64) {
+	if t1 <= t0 {
+		return
+	}
+	// First grid point >= t0.
+	k := int(math.Ceil(t0/d.res - timeEps))
+	if k < 0 {
+		k = 0
+	}
+	for ; ; k++ {
+		t := float64(k) * d.res
+		if t >= t1-timeEps*d.res {
+			return
+		}
+		for ti, tl := range d.timelines {
+			if tl.ActiveAt(t) {
+				m.KernelTouch(d.touch[ti]...)
 			}
+		}
+	}
+}
+
+// timeEps absorbs float accumulation when tick times are reconstructed as
+// t0 + i*tick: a grid point must not fall out of (or into) a window over a
+// 1e-9-relative rounding wobble.
+const timeEps = 1e-9
+
+// Step fires the events of the single instant t on the bound machine (the
+// legacy spy-loop entry point, equivalent to ReplayWindow(machine, t,
+// t+Resolution) for grid-aligned t).
+func (d *Driver) Step(t float64) error {
+	m := d.k.Machine()
+	for ti, tl := range d.timelines {
+		if tl.ActiveAt(t) {
+			m.KernelTouch(d.touch[ti]...)
 		}
 	}
 	return nil

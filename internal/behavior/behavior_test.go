@@ -1,6 +1,7 @@
 package behavior
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/linux"
@@ -103,5 +104,107 @@ func TestDriverStepTouchesModuleTLB(t *testing.T) {
 	}
 	if res, _ := m.TLB.Lookup(lm.Base, m.KernelAS.ASID); res != 0 {
 		t.Fatal("inactive module touched the TLB")
+	}
+}
+
+// bootDriver builds a deterministic kernel + driver pair for the seekable
+// event-source tests.
+func bootDriver(t *testing.T, seed uint64, timelines ...*Timeline) (*machine.Machine, *linux.Kernel, *Driver) {
+	t.Helper()
+	m := machine.New(uarch.IceLake1065G7(), seed)
+	k, err := linux.Boot(m, linux.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDriver(k, timelines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, k, d
+}
+
+// AdvanceTo must be chunk-composable: advancing in arbitrary pieces leaves
+// the machine in exactly the state one big advance produces (the property
+// chunked scan workers rely on when they replay disjoint windows).
+func TestDriverAdvanceToComposes(t *testing.T) {
+	tl := FixedTimeline(BluetoothAudio(), Interval{3, 9}, Interval{14, 20})
+	mA, _, dA := bootDriver(t, 33, tl)
+	mB, _, dB := bootDriver(t, 33, FixedTimeline(BluetoothAudio(), Interval{3, 9}, Interval{14, 20}))
+
+	dA.AdvanceTo(25)
+	for _, cut := range []float64{4, 9.5, 10, 17, 25} {
+		dB.AdvanceTo(cut)
+	}
+	if dA.Now() != 25 || dB.Now() != 25 {
+		t.Fatalf("cursors %v / %v, want 25", dA.Now(), dB.Now())
+	}
+	if !reflect.DeepEqual(tlbResidency(mA, dA), tlbResidency(mB, dB)) {
+		t.Fatal("chunked AdvanceTo leaves different TLB residency than one advance")
+	}
+	if mA.TLB.EntryCount() != mB.TLB.EntryCount() {
+		t.Fatal("chunked AdvanceTo leaves different TLB entry count")
+	}
+}
+
+// tlbResidency reports which of the driver's touched pages are
+// TLB-resident (the observable driver effects; raw snapshots differ across
+// boots on globally allocated ASIDs).
+func tlbResidency(m *machine.Machine, d *Driver) []bool {
+	var out []bool
+	for _, vas := range d.touch {
+		for _, va := range vas {
+			res, _ := m.TLB.Lookup(va, m.KernelAS.ASID)
+			out = append(out, res != 0)
+		}
+	}
+	return out
+}
+
+// ReplayWindow must be stateless (cursor untouched) and equivalent to the
+// same window replayed on the bound machine via AdvanceTo.
+func TestDriverReplayWindowStateless(t *testing.T) {
+	tl := FixedTimeline(MouseMovement(), Interval{0, 12})
+	mA, _, dA := bootDriver(t, 34, tl)
+	mB, _, dB := bootDriver(t, 34, FixedTimeline(MouseMovement(), Interval{0, 12}))
+
+	dA.ReplayWindow(mA, 2, 8)
+	if dA.Now() != 0 {
+		t.Fatalf("ReplayWindow moved the cursor to %v", dA.Now())
+	}
+	dB.Seek(2)
+	dB.AdvanceTo(8)
+	if !reflect.DeepEqual(tlbResidency(mA, dA), tlbResidency(mB, dB)) {
+		t.Fatal("ReplayWindow residency differs from the AdvanceTo equivalent")
+	}
+
+	// Rewind repositions without unfiring: machine state stays, cursor 0.
+	before := mA.Snapshot()
+	dA.Rewind()
+	if dA.Now() != 0 {
+		t.Fatal("Rewind did not reset the cursor")
+	}
+	if !reflect.DeepEqual(before, mA.Snapshot()) {
+		t.Fatal("Rewind mutated machine state")
+	}
+}
+
+// The event grid must match the legacy Step loop: for grid-aligned ticks,
+// ReplayWindow(m, t, t+1) fires exactly what Step(t) fired.
+func TestDriverReplayWindowMatchesStepLoop(t *testing.T) {
+	tl := FixedTimeline(BluetoothAudio(), Interval{2, 5}, Interval{7, 8})
+	mA, _, dA := bootDriver(t, 35, tl)
+	mB, _, dB := bootDriver(t, 35, FixedTimeline(BluetoothAudio(), Interval{2, 5}, Interval{7, 8}))
+
+	for tick := 0; tick < 10; tick++ {
+		if err := dA.Step(float64(tick)); err != nil {
+			t.Fatal(err)
+		}
+		dB.ReplayWindow(mB, float64(tick), float64(tick)+1)
+	}
+	if !reflect.DeepEqual(tlbResidency(mA, dA), tlbResidency(mB, dB)) {
+		t.Fatal("windowed replay differs from the legacy Step loop")
+	}
+	if mA.TLB.EntryCount() != mB.TLB.EntryCount() {
+		t.Fatal("windowed replay leaves different TLB entry count")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/behavior"
 	"repro/internal/linux"
 	"repro/internal/paging"
+	"repro/internal/scan"
 )
 
 // AppProfile describes an application by the kernel modules its activity
@@ -59,6 +60,7 @@ func appModule(name string) string {
 type AppFingerprinter struct {
 	P *Prober
 	// Watch maps module name → located module (from the Modules attack).
+	// At most 64 modules (one vote bit each per tick).
 	Watch map[string]linux.LoadedModule
 	// Profiles is the candidate population.
 	Profiles []AppProfile
@@ -67,57 +69,141 @@ type AppFingerprinter struct {
 	TickSec float64
 }
 
-// observeOnce returns the set of watched modules that are TLB-hot.
-func (f *AppFingerprinter) observeOnce() map[string]bool {
-	hot := make(map[string]bool)
-	for name, lm := range f.Watch {
-		best := 0.0
-		for pg := 0; pg < 4 && uint64(pg)<<12 < lm.Size; pg++ {
-			pr := f.P.ProbeTLB(lm.Base + paging4k(pg))
-			if pg == 0 || pr.Cycles < best {
-				best = pr.Cycles
-			}
-		}
-		if f.P.Threshold.Classify(best) {
-			hot[name] = true
-		}
-	}
-	return hot
+// watchEntry is one watched module with its fixed probe order position.
+type watchEntry struct {
+	name string
+	lm   linux.LoadedModule
 }
 
-// Classify runs the observation loop against a victim driver and returns
-// the best-matching profile. The victim is stepped through simulated time
-// exactly like the Fig. 6 spy.
-func (f *AppFingerprinter) Classify(d *behavior.Driver) (AppProfile, error) {
+// init fills defaults and freezes the watch list in sorted-name order: the
+// per-tick probe sequence (and therefore the noise-draw assignment) must be
+// deterministic, which iterating the Watch map never was.
+func (f *AppFingerprinter) init() ([]watchEntry, error) {
 	if f.Ticks <= 0 {
 		f.Ticks = 10
 	}
 	if f.TickSec <= 0 {
 		f.TickSec = 1
 	}
-	// Vote per tick: a module counts as "active" if hot in a majority of
-	// ticks (single-tick transients are noise).
-	votes := make(map[string]int)
-	f.P.M.EvictTLB()
-	for i := 0; i < f.Ticks; i++ {
-		if err := d.Step(float64(i) * f.TickSec); err != nil {
-			return AppProfile{}, err
-		}
-		f.P.M.AdvanceSeconds(f.TickSec)
-		for name := range f.observeOnce() {
-			votes[name]++
-		}
-		f.P.M.EvictTLB()
+	if len(f.Watch) > 64 {
+		return nil, fmt.Errorf("core: %d watched modules, max 64", len(f.Watch))
 	}
+	watch := make([]watchEntry, 0, len(f.Watch))
+	for name, lm := range f.Watch {
+		watch = append(watch, watchEntry{name: name, lm: lm})
+	}
+	sort.Slice(watch, func(i, j int) bool { return watch[i].name < watch[j].name })
+	return watch, nil
+}
+
+// tick runs one observation tick at victim time t on p's machine and
+// returns the bitmask of watched modules (in sorted-name order) whose
+// leading pages probed TLB-hot. Same canonical tick shape as the behavior
+// spy's: reset, driver replay, clock advance, probes, eviction.
+func (f *AppFingerprinter) tick(p *Prober, d *behavior.Driver, watch []watchEntry, t float64) uint64 {
+	m := p.M
+	m.ResetTranslationState()
+	d.ReplayWindow(m, t, t+f.TickSec)
+	m.AdvanceSeconds(f.TickSec)
+	var mask uint64
+	for wi := range watch {
+		lm := &watch[wi].lm
+		best := 0.0
+		for pg := 0; pg < 4 && uint64(pg)<<12 < lm.Size; pg++ {
+			pr := p.ProbeTLB(lm.Base + paging4k(pg))
+			if pg == 0 || pr.Cycles < best {
+				best = pr.Cycles
+			}
+		}
+		if p.Threshold.Classify(best) {
+			mask |= 1 << wi
+		}
+	}
+	m.EvictTLB()
+	return mask
+}
+
+// fpWorker shards the fingerprinter's observation window exactly like
+// spyWorker shards the behavior spy's: probe index = tick, verdict = the
+// tick's hot-module bitmask, healing disabled.
+type fpWorker struct {
+	workerBase
+	f     *AppFingerprinter
+	d     *behavior.Driver
+	watch []watchEntry
+	t0    float64
+}
+
+func (w *fpWorker) Probe(va paging.VirtAddr) scan.Sample[uint64] {
+	mask := w.f.tick(w.p, w.d, w.watch, w.t0+float64(uint64(va))*w.f.TickSec)
+	return scan.Sample[uint64]{Cycles: float64(mask), Verdict: mask}
+}
+
+func (w *fpWorker) Classify(float64) uint64 { return 0 } // healing disabled
+
+// Classify runs the observation loop against a victim driver from time 0
+// and returns the best-matching profile.
+func (f *AppFingerprinter) Classify(d *behavior.Driver) (AppProfile, error) {
+	return f.ClassifyFrom(d, 0)
+}
+
+// ClassifyFrom observes the window [t0, t0 + Ticks*TickSec) on the scan
+// engine — ticks fan out across Options.Workers replicas, each replaying
+// its chunk's driver events privately — and classifies the foreground app
+// by majority vote over the ticks. Output is bit-identical at any worker
+// setting, pooled or fresh, and bit-identical to ClassifyFromSequential.
+// Windows compose like the behavior spy's: consecutive calls continue the
+// victim's timeline.
+func (f *AppFingerprinter) ClassifyFrom(d *behavior.Driver, t0 float64) (AppProfile, error) {
+	watch, err := f.init()
+	if err != nil {
+		return AppProfile{}, err
+	}
+	res := runSweep(f.P, 0, f.Ticks, 1, tickChunk(f.P), -1, nil, uint64(0),
+		func(rp *Prober) scan.Worker[uint64] {
+			return &fpWorker{workerBase: workerBase{p: rp}, f: f, d: d, watch: watch, t0: t0}
+		})
+	return f.match(watch, res.Verdicts)
+}
+
+// ClassifySequential is the sequential parity yardstick of Classify.
+func (f *AppFingerprinter) ClassifySequential(d *behavior.Driver) (AppProfile, error) {
+	return f.ClassifyFromSequential(d, 0)
+}
+
+// ClassifyFromSequential is the plain sequential observation loop, kept as
+// the parity yardstick for the engine-based ClassifyFrom (same determinism
+// contract; see BehaviorSpy.RunWindowSequential).
+func (f *AppFingerprinter) ClassifyFromSequential(d *behavior.Driver, t0 float64) (AppProfile, error) {
+	watch, err := f.init()
+	if err != nil {
+		return AppProfile{}, err
+	}
+	masks := make([]uint64, f.Ticks)
+	sequentialTicks(f.P, f.Ticks, func(i int) {
+		masks[i] = f.tick(f.P, d, watch, t0+float64(i)*f.TickSec)
+	})
+	return f.match(watch, masks)
+}
+
+// match tallies the per-tick hot masks — a module counts as active when hot
+// in a majority of ticks (single-tick transients are noise) — and matches
+// the active set exactly against the profile population.
+func (f *AppFingerprinter) match(watch []watchEntry, masks []uint64) (AppProfile, error) {
 	var active []string
-	for name, n := range votes {
-		if n > f.Ticks/2 {
-			active = append(active, name)
+	for wi := range watch {
+		votes := 0
+		for _, mask := range masks {
+			if mask&(1<<wi) != 0 {
+				votes++
+			}
+		}
+		if votes > f.Ticks/2 {
+			active = append(active, watch[wi].name)
 		}
 	}
 	sort.Strings(active)
 
-	// Exact-set match against the profiles.
 	for _, prof := range f.Profiles {
 		want := make([]string, 0, len(prof.Modules))
 		for _, mn := range prof.Modules {

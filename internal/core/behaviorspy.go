@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/behavior"
 	"repro/internal/linux"
 	"repro/internal/paging"
+	"repro/internal/scan"
 )
 
 // SpySample is one spy-tick observation of one monitored module.
@@ -38,6 +40,62 @@ func (t SpyTrace) Accuracy(tl *behavior.Timeline) float64 {
 	return float64(ok) / float64(len(t.Samples))
 }
 
+// MaxSpyTargets bounds the modules one spy watches per sweep (the tick
+// verdict is a fixed-size record so the scan engine can merge it).
+const MaxSpyTargets = 8
+
+// tickObs is one tick's observation across all watched targets — the
+// verdict type of the temporal sweeps. Unused slots stay zero.
+type tickObs struct {
+	min    [MaxSpyTargets]float64
+	active [MaxSpyTargets]bool
+}
+
+// tickChunk returns the shard granularity of temporal sweeps, in ticks:
+// small enough that a 100-tick Figure 6 run still fans out across workers,
+// overridable through the usual Options.ScanChunkPages knob.
+func tickChunk(p *Prober) int {
+	if p.Opt.ScanChunkPages > 0 {
+		return p.Opt.ScanChunkPages
+	}
+	return 8
+}
+
+// windowTicks returns how many TickSec ticks the half-open window [t0, t1)
+// holds (tick i sampling at t0 + i*tick, like the legacy 1 Hz loop).
+func windowTicks(t0, t1, tick float64) int {
+	if t1 <= t0 || tick <= 0 {
+		return 0
+	}
+	return int(math.Ceil((t1-t0)/tick - 1e-9))
+}
+
+// sequentialTicks runs n tick bodies in order on p's own machine under the
+// engine's exact determinism contract — the same scan-epoch seed
+// derivation, per-chunk noise reseed + translation reset, and canonical
+// post-sweep state that runSweep applies. It is the one place the temporal
+// yardstick loops (BehaviorSpy.RunWindowSequential,
+// AppFingerprinter.ClassifyFromSequential) get their chunk scaffolding
+// from, so the seed contract cannot drift between them and the engine.
+func sequentialTicks(p *Prober, n int, body func(i int)) {
+	p.scanEpoch++
+	seed := p.M.Seed() ^ (p.scanEpoch * 0x9e3779b97f4a7c15)
+	chunk := tickChunk(p)
+	for lo, c := 0, 0; lo < n; lo, c = lo+chunk, c+1 {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		p.M.ReseedNoise(scan.StreamSeed(seed, uint64(c)))
+		p.M.ResetTranslationState()
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}
+	p.M.ReseedNoise(scan.StreamSeed(seed, scan.PostSweepStream))
+	p.M.ResetTranslationState()
+}
+
 // BehaviorSpy mounts the §IV-E user-behavior inference: a spy process
 // repeats the TLB attack (P4) against the leading pages of target kernel
 // modules at tick intervals. When the victim uses the device (Bluetooth
@@ -48,7 +106,7 @@ func (t SpyTrace) Accuracy(tl *behavior.Timeline) float64 {
 // Modules attack; here they are passed in as located modules.
 type BehaviorSpy struct {
 	P *Prober
-	// Targets are the monitored modules.
+	// Targets are the monitored modules (at most MaxSpyTargets).
 	Targets []linux.LoadedModule
 	// PagesPerModule is how many leading pages each tick probes
 	// ("the first 10 pages", §IV-E).
@@ -57,55 +115,140 @@ type BehaviorSpy struct {
 	TickSec float64
 }
 
-// Run replays the experiment for duration seconds against the victim
-// driver: each tick the victim acts per its timelines, then the spy probes
-// and evicts. Returns one trace per target, aligned with the driver's
-// timelines.
-func (s *BehaviorSpy) Run(d *behavior.Driver, duration float64) ([]SpyTrace, error) {
+// init fills defaults and validates the target list.
+func (s *BehaviorSpy) init() error {
 	if s.PagesPerModule <= 0 {
 		s.PagesPerModule = 10
 	}
 	if s.TickSec <= 0 {
 		s.TickSec = 1.0
 	}
-	traces := make([]SpyTrace, len(s.Targets))
-	for i, t := range s.Targets {
-		traces[i].Module = t.Name
+	if len(s.Targets) > MaxSpyTargets {
+		return fmt.Errorf("core: %d spy targets, max %d", len(s.Targets), MaxSpyTargets)
 	}
+	return nil
+}
 
-	// Start from a clean TLB so tick 1 reflects only post-start activity.
-	s.P.M.EvictTLB()
-
-	for t := 0.0; t < duration; t += s.TickSec {
-		// Victim activity during this tick.
-		if err := d.Step(t); err != nil {
-			return nil, err
-		}
-		s.P.M.AdvanceSeconds(s.TickSec)
-
-		// Spy: probe each target module's leading pages, then evict so the
-		// next tick starts fresh.
-		for i, target := range s.Targets {
-			min := 0.0
-			for pg := 0; pg < s.PagesPerModule; pg++ {
-				va := target.Base + paging.VirtAddr(pg*paging.Page4K)
-				if uint64(va) >= uint64(target.End()) {
-					break
-				}
-				pr := s.P.ProbeTLB(va)
-				if pg == 0 || pr.Cycles < min {
-					min = pr.Cycles
-				}
+// tick runs one spy tick at victim time t on p's machine: canonical tick
+// state, victim events of the tick's window replayed by the driver, clock
+// advance, one min-over-leading-pages TLB probe per target, full eviction
+// so the next tick starts cold. The tick's outcome is a pure function of
+// (victim image, driver schedule, t, p's noise position) — which machine
+// runs it never matters, the property the sharded sweep rests on.
+func (s *BehaviorSpy) tick(p *Prober, d *behavior.Driver, t float64) tickObs {
+	m := p.M
+	m.ResetTranslationState()
+	d.ReplayWindow(m, t, t+s.TickSec)
+	m.AdvanceSeconds(s.TickSec)
+	var obs tickObs
+	for ti := range s.Targets {
+		target := &s.Targets[ti]
+		min := 0.0
+		for pg := 0; pg < s.PagesPerModule; pg++ {
+			va := target.Base + paging.VirtAddr(pg*paging.Page4K)
+			if uint64(va) >= uint64(target.End()) {
+				break
 			}
-			traces[i].Samples = append(traces[i].Samples, SpySample{
-				TimeSec:   t,
-				MinCycles: min,
-				Active:    s.P.Threshold.Classify(min),
-			})
+			pr := p.ProbeTLB(va)
+			if pg == 0 || pr.Cycles < min {
+				min = pr.Cycles
+			}
 		}
-		s.P.M.EvictTLB()
+		obs.min[ti] = min
+		obs.active[ti] = p.Threshold.Classify(min)
 	}
-	return traces, nil
+	m.EvictTLB()
+	return obs
+}
+
+// spyWorker shards the spy's time axis: probe index i is tick i of the
+// window, and each chunk of ticks replays its own driver events against the
+// worker's private machine replica (behavior.Driver.ReplayWindow is
+// stateless), so a chunk's trace segment is bit-identical no matter which
+// worker runs it. Healing is disabled for temporal sweeps — adjacent ticks
+// legitimately disagree whenever the victim starts or stops an activity.
+type spyWorker struct {
+	workerBase
+	spy *BehaviorSpy
+	d   *behavior.Driver
+	t0  float64
+}
+
+func (w *spyWorker) Probe(va paging.VirtAddr) scan.Sample[tickObs] {
+	obs := w.spy.tick(w.p, w.d, w.t0+float64(uint64(va))*w.spy.TickSec)
+	return scan.Sample[tickObs]{Cycles: obs.min[0], Verdict: obs}
+}
+
+func (w *spyWorker) Classify(float64) tickObs { return tickObs{} } // healing disabled
+
+// Run replays the experiment for duration seconds against the victim
+// driver from time 0: each tick the victim acts per its timelines, then the
+// spy probes and evicts. Returns one trace per target, aligned with the
+// driver's timelines.
+func (s *BehaviorSpy) Run(d *behavior.Driver, duration float64) ([]SpyTrace, error) {
+	return s.RunWindow(d, 0, duration)
+}
+
+// RunWindow runs the spy over the victim-time window [t0, t1) on the scan
+// engine: ticks become probe indices, chunks of ticks fan out across
+// Options.Workers machine replicas, and each worker replays the driver
+// events of its chunk's window against its replica. Output is bit-identical
+// at any worker setting, pooled or fresh, and bit-identical to
+// RunWindowSequential — the sequential loop kept as the parity yardstick.
+//
+// Windows compose: consecutive RunWindow calls on one prober continue the
+// victim's timeline, which is what lets a service session carry spy state
+// across jobs (checkpoint after each window, restore before the next).
+func (s *BehaviorSpy) RunWindow(d *behavior.Driver, t0, t1 float64) ([]SpyTrace, error) {
+	if err := s.init(); err != nil {
+		return nil, err
+	}
+	n := windowTicks(t0, t1, s.TickSec)
+	res := runSweep(s.P, 0, n, 1, tickChunk(s.P), -1, nil, tickObs{},
+		func(rp *Prober) scan.Worker[tickObs] {
+			return &spyWorker{workerBase: workerBase{p: rp}, spy: s, d: d, t0: t0}
+		})
+	return s.assemble(t0, res.Verdicts), nil
+}
+
+// RunSequential is the sequential parity yardstick of Run.
+func (s *BehaviorSpy) RunSequential(d *behavior.Driver, duration float64) ([]SpyTrace, error) {
+	return s.RunWindowSequential(d, 0, duration)
+}
+
+// RunWindowSequential is the plain sequential spy loop, kept as the parity
+// yardstick for the engine-based RunWindow: it walks the ticks in order on
+// the prober's own machine under the engine's exact determinism contract
+// (same per-chunk noise seeds, same canonical tick state, same post-sweep
+// state), so its traces must be bit-identical to RunWindow's at every
+// worker setting for a fixed machine seed.
+func (s *BehaviorSpy) RunWindowSequential(d *behavior.Driver, t0, t1 float64) ([]SpyTrace, error) {
+	if err := s.init(); err != nil {
+		return nil, err
+	}
+	n := windowTicks(t0, t1, s.TickSec)
+	obs := make([]tickObs, n)
+	sequentialTicks(s.P, n, func(i int) {
+		obs[i] = s.tick(s.P, d, t0+float64(i)*s.TickSec)
+	})
+	return s.assemble(t0, obs), nil
+}
+
+// assemble splits the merged per-tick observations into per-target traces.
+func (s *BehaviorSpy) assemble(t0 float64, obs []tickObs) []SpyTrace {
+	traces := make([]SpyTrace, len(s.Targets))
+	for ti, target := range s.Targets {
+		traces[ti].Module = target.Name
+		traces[ti].Samples = make([]SpySample, len(obs))
+		for i, o := range obs {
+			traces[ti].Samples[i] = SpySample{
+				TimeSec:   t0 + float64(i)*s.TickSec,
+				MinCycles: o.min[ti],
+				Active:    o.active[ti],
+			}
+		}
+	}
+	return traces
 }
 
 // LocateTargets resolves target module names to loaded modules via a prior

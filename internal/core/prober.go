@@ -227,29 +227,43 @@ func (p *Prober) Calibrate() error {
 	return nil
 }
 
-// SessionState snapshots the attack-visible execution state of a prober and
-// its machine: the clock, noise-stream position, counters, fault count and
-// scan epoch. A service session captures it once after calibration and
-// restores it before every job, so each job starts from the identical
-// post-calibration state a freshly booted-and-calibrated victim would be in
-// — which is what makes a job's output bit-identical whether it ran first
-// or five-hundredth on the session.
+// SessionState snapshots the attack-visible state of a prober and its
+// machine: the full machine.Snapshot (clock, noise-stream position,
+// counters, translation-cache contents, user write shadow) plus the
+// prober's fault count and scan epoch. A service session captures it after
+// calibration — and, for stateful attacks like the §IV-E behavior spy,
+// again after every job — and restores it before the next job, so each job
+// starts from exactly the state its position in the session implies: a
+// job's output is a pure function of (victim image, session state, spec),
+// never of what else ran on the machine in between.
 type SessionState struct {
-	mc        machine.Checkpoint
+	ms        machine.Snapshot
 	scanEpoch uint64
 	faults    int
 }
 
-// Checkpoint snapshots the prober+machine execution state.
+// Checkpoint snapshots the prober+machine state.
 func (p *Prober) Checkpoint() SessionState {
-	return SessionState{mc: p.M.Checkpoint(), scanEpoch: p.scanEpoch, faults: p.faults}
+	return SessionState{ms: p.M.Snapshot(), scanEpoch: p.scanEpoch, faults: p.faults}
 }
 
-// Restore rewinds the prober and its machine to a checkpointed state (see
-// machine.Restore for the memory-image caveat: nothing may have mutated the
-// victim's address spaces since the checkpoint).
-func (p *Prober) Restore(s SessionState) {
-	p.M.Restore(s.mc)
+// Restore rewinds the prober and its machine to a checkpointed state. It
+// fails if the victim's page tables were mutated since the checkpoint (see
+// machine.Restore — probe-only attacks never trip it).
+func (p *Prober) Restore(s SessionState) error {
+	if err := p.M.Restore(s.ms); err != nil {
+		return err
+	}
+	p.scanEpoch = s.scanEpoch
+	p.faults = s.faults
+	return nil
+}
+
+// adoptState is the cross-machine Restore: it applies a state snapshotted
+// on a different machine whose attack-observable image this prober's
+// machine reproduces (see machine.Adopt).
+func (p *Prober) adoptState(s SessionState) {
+	p.M.Adopt(s.ms)
 	p.scanEpoch = s.scanEpoch
 	p.faults = s.faults
 }
@@ -281,6 +295,13 @@ func (p *Prober) CalibrationSnapshot() Calibration {
 // way a real attacker calibrates once per victim class and reuses the
 // thresholds across sessions. Every attack result from the returned prober
 // is bit-identical to one from a freshly calibrated prober.
+//
+// The replay crosses machines, so it adopts the recorded state rather than
+// Restore-ing it (the calibrated original mapped and unmapped scratch
+// pages a calibration-skipping boot never does; the attack-observable image
+// is equivalent, the page-table mutation counters are not). Checkpoint the
+// returned prober to obtain a state that Restore — with its mutation guard
+// — accepts on this machine.
 func NewProberFromCalibration(m *machine.Machine, opt Options, cal Calibration) *Prober {
 	p := &Prober{
 		M:              m,
@@ -290,7 +311,7 @@ func NewProberFromCalibration(m *machine.Machine, opt Options, cal Calibration) 
 		calibrated:     true,
 		scratchVA:      ScratchBase,
 	}
-	p.Restore(cal.State)
+	p.adoptState(cal.State)
 	return p
 }
 

@@ -382,12 +382,16 @@ func (w *termWorker) ProbeChunk(start paging.VirtAddr, stride uint64, lo, hi int
 
 func (w *termWorker) Classify(cycles float64) bool { return cycles > w.threshold }
 
-// runSweep is the one scan path every large VA sweep takes. It shards the
+// runSweep is the one scan path every sharded sweep takes — large VA
+// ranges (probe indices are pages/slots) and temporal attacks alike (probe
+// indices are time ticks; see spyWorker/fpWorker). It shards the index
 // range across Options.Workers machine replicas (pooled or fresh), merges
 // deterministically, and folds the workers' simulated probing cycles,
 // performance counters and fault counts back into the prober's machine, so
 // RDTSC-based runtime accounting in the attack drivers is unchanged:
-// parallelism buys host wall-clock, not simulated attacker time.
+// parallelism buys host wall-clock, not simulated attacker time. chunk
+// overrides the shard granularity (0 = Options.ScanChunkPages, then the
+// engine default).
 //
 // Workers == 0 runs the identical engine semantics inline: a single worker
 // that *is* the prober's own machine (no clone, no goroutine fan-out
@@ -396,7 +400,7 @@ func (w *termWorker) Classify(cycles float64) bool { return cycles > w.threshold
 // the inline, replicated, and pooled paths produce bit-identical results
 // at every worker count for a fixed machine seed.
 func runSweep[V comparable](p *Prober, start paging.VirtAddr, n int, stride uint64,
-	heal int, skip func(int) bool, skipV V,
+	chunk int, heal int, skip func(int) bool, skipV V,
 	wrap func(*Prober) scan.Worker[V]) scan.Result[V] {
 	p.scanEpoch++
 	seed := p.M.Seed() ^ (p.scanEpoch * 0x9e3779b97f4a7c15)
@@ -405,10 +409,13 @@ func runSweep[V comparable](p *Prober, start paging.VirtAddr, n int, stride uint
 	if inline {
 		nw = 1
 	}
+	if chunk <= 0 {
+		chunk = p.Opt.ScanChunkPages
+	}
 	replicas := p.replicaBuf[:0]
 	eng := scan.New(scan.Config{
 		Workers:     nw,
-		ChunkPages:  p.Opt.ScanChunkPages,
+		ChunkPages:  chunk,
 		Seed:        seed,
 		HealSamples: heal,
 	}, func(id int) scan.Worker[V] {
@@ -450,7 +457,7 @@ func runSweep[V comparable](p *Prober, start paging.VirtAddr, n int, stride uint
 
 // scanMapped runs the P2 mapped/unmapped sweep on the engine.
 func (p *Prober) scanMapped(start paging.VirtAddr, n int, stride uint64) scan.Result[bool] {
-	return runSweep(p, start, n, stride, 0, nil, false,
+	return runSweep(p, start, n, stride, 0, 0, nil, false,
 		func(rp *Prober) scan.Worker[bool] { return &mappedWorker{workerBase{p: rp}} })
 }
 
@@ -460,7 +467,7 @@ func (p *Prober) scanMapped(start paging.VirtAddr, n int, stride uint64) scan.Re
 // healing re-probe of isolated verdict flips); unmapped pages are skipped
 // outright — no probe, no noise draw — and come back PermUnmapped.
 func (p *Prober) scanStoreClasses(start paging.VirtAddr, mapped []bool) []PermClass {
-	res := runSweep(p, start, len(mapped), paging.Page4K, 0,
+	res := runSweep(p, start, len(mapped), paging.Page4K, 0, 0,
 		func(i int) bool { return !mapped[i] }, PermUnmapped,
 		func(rp *Prober) scan.Worker[PermClass] { return &storeWorker{workerBase{p: rp}} })
 	return res.Verdicts
@@ -474,7 +481,7 @@ func (p *Prober) scanStoreClasses(start paging.VirtAddr, mapped []bool) []PermCl
 // PT-terminating slots, exactly what a neighbour-disagreement heal would
 // re-probe away.
 func (p *Prober) ScanTermLevel(start paging.VirtAddr, n int, stride uint64, samples int, threshold float64) ([]bool, []float64) {
-	res := runSweep(p, start, n, stride, -1, nil, false,
+	res := runSweep(p, start, n, stride, 0, -1, nil, false,
 		func(rp *Prober) scan.Worker[bool] {
 			return &termWorker{workerBase: workerBase{p: rp}, samples: samples, threshold: threshold}
 		})

@@ -25,7 +25,9 @@ func TestProberRestoreReplaysAttack(t *testing.T) {
 		t.Fatalf("base %#x, truth %#x", uint64(first.Base), uint64(k.Base))
 	}
 
-	p.Restore(state)
+	if err := p.Restore(state); err != nil {
+		t.Fatal(err)
+	}
 	second, err := KernelBase(p)
 	if err != nil {
 		t.Fatal(err)

@@ -361,6 +361,9 @@ func (k *Kernel) buildSymbols(r *rng.Source) {
 	k.Kallsyms["_text"] = k.Base
 }
 
+// Machine returns the machine the kernel is booted on.
+func (k *Kernel) Machine() *machine.Machine { return k.m }
+
 // SyscallTouchSet returns the kernel text the syscall path runs through.
 func (k *Kernel) SyscallTouchSet() []paging.VirtAddr { return k.syscallSet }
 

@@ -134,22 +134,24 @@ func TestMeasureEvictedBatchZeroAlloc(t *testing.T) {
 	}
 }
 
-// Checkpoint/Restore must rewind the execution state exactly: a machine
-// restored to a checkpoint replays the identical measurement stream a
+// Snapshot/Restore must rewind the execution state exactly: a machine
+// restored to a snapshot replays the identical measurement stream a
 // second time.
-func TestCheckpointRestoreReplays(t *testing.T) {
+func TestSnapshotRestoreReplays(t *testing.T) {
 	m := New(uarch.IceLake1065G7(), 9)
 	if err := m.MapUser(0x7e0000000000, 16*paging.Page4K, paging.Writable); err != nil {
 		t.Fatal(err)
 	}
 	ops := testOps(24)
-	cp := m.Checkpoint()
+	cp := m.Snapshot()
 	first := make([]float64, len(ops))
 	m.MeasureBatch(ops, 1, 1, first)
 	tscAfter := m.RDTSC()
 	countersAfter := m.Counters.Snapshot()
 
-	m.Restore(cp)
+	if err := m.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
 	second := make([]float64, len(ops))
 	m.MeasureBatch(ops, 1, 1, second)
 	for i := range first {

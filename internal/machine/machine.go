@@ -242,40 +242,103 @@ func (m *Machine) SwapNoise(src *rng.Source) *rng.Source {
 	return old
 }
 
-// Checkpoint is a snapshot of a machine's execution state — the clock, the
-// position of its own noise stream and the performance-counter bank. It
-// deliberately excludes memory state (address spaces, the write shadow,
-// the physical allocator): a checkpoint taken on machine A applies to any
-// machine whose memory image is bit-identical to A's, which is what lets a
-// service session skip re-running calibration on a freshly booted replica
-// of a known victim and still produce bit-identical attack results.
-type Checkpoint struct {
-	tsc      uint64
-	noise    rng.Source
-	counters perf.Counters
+// Snapshot is the full replayable state of a machine at one instant: the
+// execution state (clock, own-noise-stream position, performance-counter
+// bank, enclave mode) plus the mutable victim-visible state — the contents
+// of the TLB, the paging-structure caches and the PTE-line cache, and the
+// write shadow of every user frame written since boot (the address-space
+// data delta). Page-table *structure* is deliberately not copied; instead
+// the snapshot records the address spaces' mutation versions, and Restore
+// refuses to apply once the tables have changed — so everything replayed
+// after a Restore is a pure function of (victim image, snapshot, seed),
+// never of what ran in between.
+//
+// A snapshot taken on machine A applies to any machine whose memory image
+// is bit-identical to A's: that is what lets a service session skip
+// re-running calibration on a freshly booted replica of a known victim, and
+// what lets a stateful session (the §IV-E behavior spy's victim timeline)
+// carry its position across jobs and still produce bit-identical traces.
+type Snapshot struct {
+	tsc       uint64
+	noise     rng.Source
+	counters  perf.Counters
+	inEnclave bool
+
+	tlb      tlb.Snapshot
+	psc      tlb.PSCSnapshot
+	pteLines ptecache.Snapshot
+	backing  []frameSave
+
+	kernelVer, userVer uint64
 }
 
-// Checkpoint snapshots the machine's execution state. Pair with Restore to
-// rewind a long-lived session machine to a canonical point (post-boot,
-// post-calibration) between jobs.
-func (m *Machine) Checkpoint() Checkpoint {
-	return Checkpoint{tsc: m.tsc, noise: m.ownNoise, counters: m.Counters.Snapshot()}
+// frameSave is the copied contents of one written user frame.
+type frameSave struct {
+	pfn  phys.PFN
+	data [phys.FrameSize]byte
 }
 
-// Restore rewinds the execution state to a checkpoint taken on this
-// machine (or on a machine whose memory image is bit-identical): the clock
-// and noise stream are set back, the counter bank is restored, and the
-// translation caches are emptied — the same canonical state runSweep
-// leaves, so everything that runs after a Restore is a pure function of
-// (memory image, checkpoint), never of what ran in between. The caller
-// guarantees nothing mutated the address spaces or user memory since the
-// checkpoint (probe-only attacks never do).
-func (m *Machine) Restore(c Checkpoint) {
-	m.tsc = c.tsc
-	m.ownNoise = c.noise
+// Snapshot captures the machine's replayable state. Pair with Restore to
+// rewind a long-lived session machine to a saved point (post-calibration,
+// end of the previous behavior-spy window) between jobs.
+func (m *Machine) Snapshot() Snapshot {
+	s := Snapshot{
+		tsc:       m.tsc,
+		noise:     m.ownNoise,
+		counters:  m.Counters.Snapshot(),
+		inEnclave: m.InEnclave,
+		tlb:       m.TLB.Snapshot(),
+		psc:       m.PSC.Snapshot(),
+		pteLines:  m.PTELines.Snapshot(),
+		kernelVer: m.KernelAS.Version(),
+		userVer:   m.UserAS.Version(),
+	}
+	for pfn, b := range m.backing {
+		if b != nil {
+			s.backing = append(s.backing, frameSave{pfn: phys.PFN(pfn), data: *b})
+		}
+	}
+	return s
+}
+
+// Restore rewinds the machine to a snapshot taken on this machine (or on a
+// machine whose memory image is bit-identical): the clock, noise stream,
+// counter bank, translation-cache contents and user write shadow are all
+// set back exactly. It fails if the page tables have been structurally
+// mutated (map/unmap/protect or A/D-bit updates) since the snapshot — the
+// one class of state a snapshot does not carry; probe-only attacks never
+// trip it.
+func (m *Machine) Restore(s Snapshot) error {
+	if kv := m.KernelAS.Version(); kv != s.kernelVer {
+		return fmt.Errorf("machine: kernel address space mutated since snapshot (version %d, snapshot %d)", kv, s.kernelVer)
+	}
+	if uv := m.UserAS.Version(); uv != s.userVer {
+		return fmt.Errorf("machine: user address space mutated since snapshot (version %d, snapshot %d)", uv, s.userVer)
+	}
+	m.Adopt(s)
+	return nil
+}
+
+// Adopt applies a snapshot without the page-table version check: the
+// cross-machine form of Restore, for adopting a snapshot taken on a
+// *different* machine whose attack-observable memory image this machine
+// reproduces (a fresh boot of the same victim configuration replaying a
+// cached calibration). The caller asserts image equivalence; on the same
+// machine, prefer Restore, which verifies it.
+func (m *Machine) Adopt(s Snapshot) {
+	m.tsc = s.tsc
+	m.ownNoise = s.noise
 	m.noise = &m.ownNoise
-	m.Counters = c.counters
-	m.ResetTranslationState()
+	m.Counters = s.counters
+	m.InEnclave = s.inEnclave
+	m.TLB.Restore(s.tlb)
+	m.PSC.Restore(s.psc)
+	m.PTELines.Restore(s.pteLines)
+	clear(m.backing)
+	for i := range s.backing {
+		fs := &s.backing[i]
+		*m.frameData(fs.pfn) = fs.data
+	}
 }
 
 // ResetTranslationState empties the TLB, the paging-structure caches and

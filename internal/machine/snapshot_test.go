@@ -1,0 +1,171 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/avx"
+	"repro/internal/paging"
+	"repro/internal/perf"
+	"repro/internal/uarch"
+)
+
+// snapshotTestRegion is the user mapping the snapshot tests probe and
+// write (mapped before the snapshot, so data writes never move the
+// page-table version).
+const snapshotTestRegion paging.VirtAddr = 0x7e0000000000
+
+// kernelLikeVA is a mapped supervisor page for KernelTouch traffic.
+const kernelLikeVA paging.VirtAddr = 0xffffffff81000000
+
+func snapshotTestMachine(t testing.TB, seed uint64) *Machine {
+	t.Helper()
+	m := New(uarch.IceLake1065G7(), seed)
+	if err := m.MapUser(snapshotTestRegion, 32*paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.KernelAS.MapRange(kernelLikeVA, 16*paging.Page4K, paging.Page4K, paging.Writable); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// applyOp applies one state-churning operation selected by b. The boolean
+// reports whether the op mutates the page tables (structure or A/D bits) —
+// the one mutation class a snapshot cannot rewind.
+func applyOp(m *Machine, b byte, arg byte) (mutatesAS bool) {
+	va := snapshotTestRegion + paging.VirtAddr(uint64(arg%32)*paging.Page4K)
+	switch b % 10 {
+	case 0:
+		m.ExecMasked(avx.MaskedLoad(va, avx.ZeroMask))
+	case 1:
+		m.Measure(avx.MaskedLoad(va, avx.ZeroMask))
+	case 2:
+		m.EvictTLB()
+	case 3:
+		m.EvictTranslation(va)
+	case 4:
+		m.EvictPTELines()
+	case 5:
+		m.KernelTouch(kernelLikeVA + paging.VirtAddr(uint64(arg%16)*paging.Page4K))
+	case 6:
+		m.AdvanceCycles(uint64(arg) * 97)
+	case 7:
+		m.ReseedNoise(uint64(arg) + 1)
+	case 8:
+		// Data write: mutates the write shadow (snapshot must carry it)
+		// without touching the page tables.
+		_ = m.WriteUser(va, []byte{arg, arg + 1, arg + 2})
+	case 9:
+		// Real masked store: moves data AND sets Accessed/Dirty — a
+		// page-table mutation Restore must detect.
+		before := m.UserAS.Version()
+		m.ExecMasked(avx.MaskedStore(va, avx.AllMask(8)))
+		return m.UserAS.Version() != before
+	}
+	return false
+}
+
+// continuation runs a fixed probe sequence and returns its full observable
+// trace: measurements, clock, counters and a sample of user memory. Two
+// machines in identical state must produce identical continuations.
+func continuation(t testing.TB, m *Machine) ([]float64, uint64, perf.Counters, []byte) {
+	t.Helper()
+	meas := make([]float64, 0, 48)
+	for i := 0; i < 16; i++ {
+		va := snapshotTestRegion + paging.VirtAddr(uint64(i%32)*paging.Page4K)
+		v, _ := m.Measure(avx.MaskedLoad(va, avx.ZeroMask))
+		meas = append(meas, v)
+		if i%5 == 2 {
+			m.EvictTranslation(va)
+			v, _ = m.Measure(avx.MaskedLoad(va, avx.ZeroMask))
+			meas = append(meas, v)
+		}
+	}
+	data, err := m.ReadUser(snapshotTestRegion, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meas, m.RDTSC(), m.Counters.Snapshot(), data
+}
+
+// snapshotRoundTrip drives the property the whole session layer rests on:
+// warm up with an arbitrary op sequence, Snapshot, record a continuation,
+// churn arbitrarily more, Restore, and require a bit-identical
+// continuation — or, if the churn mutated the page tables, require Restore
+// to refuse.
+func snapshotRoundTrip(t testing.TB, seed uint64, warm, churn []byte) {
+	m := snapshotTestMachine(t, seed)
+	for i := 0; i+1 < len(warm); i += 2 {
+		applyOp(m, warm[i], warm[i+1])
+	}
+	snap := m.Snapshot()
+	wantMeas, wantTSC, wantCtr, wantData := continuation(t, m)
+
+	mutatedAS := false
+	for i := 0; i+1 < len(churn); i += 2 {
+		if applyOp(m, churn[i], churn[i+1]) {
+			mutatedAS = true
+		}
+	}
+
+	err := m.Restore(snap)
+	if mutatedAS {
+		if err == nil {
+			t.Fatal("Restore accepted a snapshot across a page-table mutation")
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	gotMeas, gotTSC, gotCtr, gotData := continuation(t, m)
+	if len(wantMeas) != len(gotMeas) {
+		t.Fatalf("continuation lengths differ: %d vs %d", len(wantMeas), len(gotMeas))
+	}
+	for i := range wantMeas {
+		if wantMeas[i] != gotMeas[i] {
+			t.Fatalf("measurement %d differs after restore: %v vs %v", i, wantMeas[i], gotMeas[i])
+		}
+	}
+	if wantTSC != gotTSC {
+		t.Fatalf("clock differs after restored continuation: %d vs %d", wantTSC, gotTSC)
+	}
+	if wantCtr != gotCtr {
+		t.Fatal("counters differ after restored continuation")
+	}
+	if string(wantData) != string(gotData) {
+		t.Fatal("user memory differs after restored continuation")
+	}
+}
+
+// The deterministic property pass: a spread of op mixes, including
+// data-writing and AS-mutating churn.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	cases := [][2][]byte{
+		{{}, {}},
+		{{0, 1, 1, 2, 5, 3}, {2, 0, 6, 9, 7, 3}},
+		{{8, 4, 8, 9, 1, 7}, {8, 1, 8, 200, 1, 9}},
+		{{9, 0, 9, 1, 0, 2}, {9, 5}}, // store churn: must refuse
+		{{5, 1, 5, 2, 1, 9}, {3, 3, 4, 0, 2, 1, 8, 77}},
+	}
+	for i, c := range cases {
+		snapshotRoundTrip(t, uint64(100+i), c[0], c[1])
+	}
+}
+
+// FuzzSnapshotRoundTrip lets the fuzzer search for op sequences that break
+// the replay-purity contract.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 3}, []byte{4, 5, 6, 7})
+	f.Add(uint64(2), []byte{8, 0, 9, 9}, []byte{9, 1, 8, 2})
+	f.Add(uint64(3), []byte{}, []byte{7, 200, 6, 100, 3, 50})
+	f.Fuzz(func(t *testing.T, seed uint64, warm, churn []byte) {
+		if len(warm) > 64 {
+			warm = warm[:64]
+		}
+		if len(churn) > 64 {
+			churn = churn[:64]
+		}
+		snapshotRoundTrip(t, seed, warm, churn)
+	})
+}

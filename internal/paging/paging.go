@@ -150,7 +150,16 @@ type AddressSpace struct {
 	// ASID tags TLB entries; distinct address spaces get distinct ASIDs
 	// so the TLB can model PCID-tagged entries.
 	ASID uint16
+	// version counts structural and flag mutations (Map/Unmap/Protect,
+	// A/D-bit updates). machine.Snapshot records it so Restore can verify
+	// the replay-purity contract: a snapshot only applies while the page
+	// tables are bit-identical to snapshot time.
+	version uint64
 }
+
+// Version returns the mutation counter. Two equal readings bracket a span
+// with no page-table mutation of any kind.
+func (as *AddressSpace) Version() uint64 { return as.version }
 
 // nextASID is atomic: the service layer boots victim machines from
 // concurrent executors. Only ASID *distinctness* is observable (TLB tag
@@ -246,6 +255,7 @@ func (as *AddressSpace) Map(va VirtAddr, size PageSize, frame phys.PFN, flags Fl
 	default:
 		return fmt.Errorf("paging: invalid page size %#x", size.Bytes())
 	}
+	as.version++
 	return nil
 }
 
@@ -301,6 +311,7 @@ func (as *AddressSpace) Unmap(va VirtAddr) error {
 		return fmt.Errorf("paging: unmap of unmapped address %#x", uint64(va))
 	}
 	*e = entry{}
+	as.version++
 	return nil
 }
 
@@ -313,6 +324,7 @@ func (as *AddressSpace) Protect(va VirtAddr, flags Flags) error {
 	}
 	keep := e.flags & (Present | Accessed | Dirty)
 	e.flags = keep | (flags &^ (Present | Accessed | Dirty))
+	as.version++
 	return nil
 }
 
@@ -322,10 +334,14 @@ func (as *AddressSpace) SetDirty(va VirtAddr, dirty bool) error {
 	if e == nil {
 		return fmt.Errorf("paging: SetDirty of unmapped address %#x", uint64(va))
 	}
+	old := e.flags
 	if dirty {
 		e.flags |= Dirty
 	} else {
 		e.flags &^= Dirty
+	}
+	if e.flags != old {
+		as.version++
 	}
 	return nil
 }
@@ -421,12 +437,16 @@ func (as *AddressSpace) MarkAccess(va VirtAddr, write bool) (dirtied bool) {
 	if e == nil {
 		return false
 	}
+	old := e.flags
 	e.flags |= Accessed
 	if write && !e.flags.Has(Dirty) {
 		e.flags |= Dirty
-		return true
+		dirtied = true
 	}
-	return false
+	if e.flags != old {
+		as.version++
+	}
+	return dirtied
 }
 
 // PageBase returns the base address of the page of the given size

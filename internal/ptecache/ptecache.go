@@ -96,6 +96,42 @@ func (c *Cache) Flush() {
 	}
 }
 
+// Snapshot is the full replayable cache state: the LRU clock plus every
+// valid line pinned to its exact (set, way) slot — slot order breaks LRU
+// ties on eviction, so repacking would diverge. Only valid lines are
+// stored; snapshotting an empty cache is ~free.
+type Snapshot struct {
+	clock uint64
+	lines []savedLine
+}
+
+type savedLine struct {
+	set, way int
+	l        line
+}
+
+// Snapshot captures the cache contents.
+func (c *Cache) Snapshot() Snapshot {
+	snap := Snapshot{clock: c.clock}
+	for si, set := range c.sets {
+		for wi := range set {
+			if set[wi].valid {
+				snap.lines = append(snap.lines, savedLine{set: si, way: wi, l: set[wi]})
+			}
+		}
+	}
+	return snap
+}
+
+// Restore rewinds the cache to a snapshot taken on a same-geometry cache.
+func (c *Cache) Restore(snap Snapshot) {
+	c.Flush()
+	c.clock = snap.clock
+	for _, sl := range snap.lines {
+		c.sets[sl.set][sl.way] = sl.l
+	}
+}
+
 // Resident returns the number of valid lines (diagnostics).
 func (c *Cache) Resident() int {
 	n := 0

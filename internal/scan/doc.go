@@ -1,15 +1,26 @@
-// Package scan is the sharded, parallel scan engine behind every large
-// virtual-address sweep (kernel base, module region, Windows 2^18-slot
-// region, the two-pass user-space fine scan, the AMD walk-termination
-// sweep).
+// Package scan is the sharded, parallel scan engine behind every sweep in
+// the reproduction: the large virtual-address sweeps (kernel base, module
+// region, Windows 2^18-slot region, the fused user-space fine scan, the
+// AMD walk-termination sweep) and the temporal §IV-E attacks (behavior
+// spy, app fingerprinting), whose probe axis is time rather than address.
 //
 // # Architecture
 //
 // The engine is generic over the verdict type V: a sweep produces one
 // verdict per probed index — a mapped/unmapped bool, a permission class,
-// a "walk reaches a PT" bool — plus the raw decision measurement. Any
-// per-VA probe whose outcome reduces to a comparable verdict can be
-// sharded by wrapping its probing context in a Worker[V].
+// a "walk reaches a PT" bool, a whole spy-tick observation record — plus
+// the raw decision measurement. Any probe whose outcome reduces to a
+// comparable verdict can be sharded by wrapping its probing context in a
+// Worker[V].
+//
+// The probe index is an abstract counter, not necessarily an address: the
+// engine computes start + i*stride and hands it to the worker, which may
+// read it as a VA (the address sweeps) or as a tick number (the temporal
+// sweeps use start 0, stride 1 and replay the victim's deterministic
+// event timeline for tick i before probing — see core's spyWorker and
+// behavior.Driver.ReplayWindow). Chunks of ticks parallelize exactly like
+// chunks of pages because a tick's outcome is a pure function of (victim
+// image, driver schedule, tick index, chunk noise stream).
 //
 // A scan partitions its probe index range [0, n) into fixed-size chunks
 // and fans the chunks out across N worker goroutines through a

@@ -1,10 +1,11 @@
 // Package service is the attack-as-a-service layer over the pooled scan
 // engine: it accepts attack jobs (kernel base, KPTI trampoline, module
-// enumeration, Windows region scan, §IV-F user scan, cloud scenarios),
-// schedules them on a bounded queue, and multiplexes them across executor
-// goroutines that share calibrated prober state — the subsystem that turns
-// the one-shot attack library into something that can serve sustained
-// mixed traffic.
+// enumeration, Windows region scan, §IV-F user scan, cloud scenarios, and
+// the temporal §IV-E behaviorspy / appfingerprint attacks), schedules
+// them on a bounded queue, and multiplexes them across executor goroutines
+// that share calibrated prober state — the subsystem that turns the
+// one-shot attack library into something that can serve sustained mixed
+// traffic.
 //
 // The layer cake, bottom to top:
 //
@@ -20,20 +21,36 @@
 //     concurrent scans draw calibrated prober replicas from a single free
 //     list and machine.Rebind re-syncs them per scan (pooled == fresh is
 //     enforced by the core parity suites).
-//   - Sessions: a booted victim + calibrated prober, cached per victim
-//     configuration (preset, boot parameters, seed). Before every job the
-//     session is rewound to its post-calibration checkpoint
-//     (core.Prober.Restore), so job N on a reused session replays the
-//     exact machine state job 1 saw.
+//   - Sessions: a booted victim + calibrated prober, rewound to a saved
+//     machine.Snapshot before every job (core.Prober.Restore). For the
+//     stateless kinds the snapshot is the post-calibration state and never
+//     moves, so job N on a reused session replays the exact machine state
+//     job 1 saw. For the temporal kinds the session is *stateful*: the
+//     snapshot is retaken after every job, carrying the victim's timeline
+//     position (plus TLB/PSC/PTE-line contents, clock, noise position and
+//     the user write shadow) to the next job — consecutive jobs observe
+//     consecutive windows of one victim's day, bit-identical to one long
+//     direct run. Restore verifies the page tables were not mutated in
+//     between (machine.Snapshot's version guard), so every job remains a
+//     pure function of (victim image, session state, spec).
 //   - Calibrations: the first session for a victim configuration records
 //     its thresholds and post-calibration execution state
 //     (core.Calibration); later sessions for the same configuration boot
 //     the victim and skip straight past calibration via
 //     core.NewProberFromCalibration, bit-identically.
 //
+// Per-job knobs: JobSpec.ScanWorkers overrides the scheduler's sweep
+// parallelism for one job (validated at submission, falls back to the
+// scheduler default; results are bit-identical at every setting, so the
+// knob only trades job latency against executor throughput).
+//
 // The result store streams completed jobs to subscribers and aggregates
 // the service-level metrics (success rate, jobs/s, p50/p99 host latency,
-// total simulated attacker time). cmd/scand exposes the scheduler over
-// HTTP and doubles as the load generator that records sustained-throughput
-// entries in BENCH_scan.json.
+// total simulated attacker time). Retention is bounded (StoreConfig:
+// max-jobs cap plus optional finished-job TTL): only finished jobs are
+// evicted — in-flight jobs are pinned so drains always complete — and the
+// aggregates live in counters that survive eviction, so a long-lived scand
+// serves unbounded traffic in bounded memory. cmd/scand exposes the
+// scheduler over HTTP and doubles as the load generator that records
+// sustained-throughput entries in BENCH_scan.json.
 package service

@@ -20,7 +20,9 @@ func execute(sess *session, spec JobSpec, opt core.Options) (*Result, error) {
 		return executeCloud(spec, opt)
 	}
 	p := sess.p
-	p.Restore(sess.state)
+	if err := p.Restore(sess.state); err != nil {
+		return nil, err
+	}
 	p.Opt.Workers = opt.Workers
 	p.Opt.Pool = opt.Pool
 	preset := p.M.Preset
@@ -85,6 +87,65 @@ func execute(sess *session, spec JobSpec, opt core.Options) (*Result, error) {
 			RunSlots:    res.RunSlots,
 			ProbeSimSec: preset.CyclesToSeconds(res.ProbeCycles),
 			TotalSimSec: preset.CyclesToSeconds(res.TotalCycles),
+		}, nil
+
+	case KindBehaviorSpy:
+		t0 := p.M.RDTSC()
+		winStart := sess.nextT0
+		winEnd := winStart + spec.DurationSec
+		traces, err := sess.spy.RunWindow(sess.drv, winStart, winEnd)
+		if err != nil {
+			return nil, err
+		}
+		probed := p.M.RDTSC() - t0
+		acc := make(map[string]float64, len(traces))
+		mean := 0.0
+		for i, tr := range traces {
+			a := tr.Accuracy(sess.truth[i])
+			acc[tr.Module] = a
+			mean += a
+		}
+		if len(traces) > 0 {
+			mean /= float64(len(traces))
+		}
+		// Advance the session's timeline and carry the machine state to the
+		// next job via a fresh snapshot — the stateful half of the session
+		// contract.
+		sess.nextT0 = winEnd
+		sess.state = p.Checkpoint()
+		return &Result{
+			Kind:           spec.Kind,
+			Correct:        mean >= 0.9,
+			Accuracy:       mean,
+			TargetAccuracy: acc,
+			WindowStartSec: winStart,
+			WindowEndSec:   winEnd,
+			ProbeSimSec:    preset.CyclesToSeconds(probed),
+			TotalSimSec:    preset.CyclesToSeconds(probed),
+		}, nil
+
+	case KindAppFingerprint:
+		t0 := p.M.RDTSC()
+		winStart := sess.nextT0
+		winEnd := winStart + float64(spec.Ticks)*spec.TickSec
+		got, err := sess.fp.ClassifyFrom(sess.drv, winStart)
+		app := got.Name
+		if err != nil {
+			// An unmatched active set is an attack outcome, not an executor
+			// failure: report it as an incorrect classification.
+			app = ""
+		}
+		probed := p.M.RDTSC() - t0
+		sess.nextT0 = winEnd
+		sess.state = p.Checkpoint()
+		return &Result{
+			Kind:           spec.Kind,
+			Correct:        app == spec.App,
+			App:            app,
+			WindowStartSec: winStart,
+			WindowEndSec:   winEnd,
+			ProbeSimSec:    preset.CyclesToSeconds(probed),
+			TotalSimSec:    preset.CyclesToSeconds(probed),
 		}, nil
 
 	case KindUserScan:

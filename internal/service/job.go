@@ -2,6 +2,8 @@ package service
 
 import (
 	"fmt"
+	"math"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -28,11 +30,20 @@ const (
 	KindUserScan Kind = "userscan"
 	// KindCloud mounts a §IV-H provider scenario end to end.
 	KindCloud Kind = "cloud"
+	// KindBehaviorSpy runs one window of the §IV-E user-behavior spy
+	// against a per-session victim timeline: consecutive jobs on the same
+	// victim continue where the previous window ended (the session carries
+	// the timeline position and machine snapshot across jobs).
+	KindBehaviorSpy Kind = "behaviorspy"
+	// KindAppFingerprint observes one window of driver-module TLB activity
+	// and classifies the victim's foreground application (§IV-E extension).
+	// Sessions are stateful like behaviorspy's.
+	KindAppFingerprint Kind = "appfingerprint"
 )
 
 // Kinds lists every schedulable job kind.
 func Kinds() []Kind {
-	return []Kind{KindKernelBase, KindKPTI, KindModules, KindWindows, KindUserScan, KindCloud}
+	return []Kind{KindKernelBase, KindKPTI, KindModules, KindWindows, KindUserScan, KindCloud, KindBehaviorSpy, KindAppFingerprint}
 }
 
 // JobSpec fully determines one attack job: the kind, the victim
@@ -64,10 +75,49 @@ type JobSpec struct {
 	Provider string `json:"provider,omitempty"`
 	// AzureMaxSlot bounds the Azure region scan (kind cloud; 0 = full).
 	AzureMaxSlot int `json:"azure_max_slot,omitempty"`
+	// Targets names the watched kernel modules (kind behaviorspy; empty =
+	// bluetooth+psmouse, the Figure 6 pair). Part of the victim key: jobs
+	// watching different modules do not share a timeline.
+	Targets []string `json:"targets,omitempty"`
+	// DurationSec is the spy window length per job in victim seconds (kind
+	// behaviorspy; 0 = 20).
+	DurationSec float64 `json:"duration_sec,omitempty"`
+	// TickSec is the temporal sampling interval (kinds behaviorspy and
+	// appfingerprint; 0 = 1, the paper's 1 Hz).
+	TickSec float64 `json:"tick_sec,omitempty"`
+	// App is the application the victim runs (kind appfingerprint; must
+	// name a core.StandardAppProfiles entry; empty = music-player).
+	App string `json:"app,omitempty"`
+	// Ticks is the observation-window length per job in ticks (kind
+	// appfingerprint; 0 = 8).
+	Ticks int `json:"ticks,omitempty"`
+	// ScanWorkers overrides the scheduler's per-job scan-engine parallelism
+	// (core.Options.Workers) for this job only: 0 runs the job's sweeps
+	// inline on its session machine, >= 1 fans chunks across that many
+	// pooled replicas. nil falls back to the scheduler default. Results are
+	// bit-identical at every setting, so this knob trades this job's
+	// latency against executor-level throughput — it is deliberately not
+	// part of the victim key.
+	ScanWorkers *int `json:"scan_workers,omitempty"`
 }
+
+// MaxJobScanWorkers bounds the per-job ScanWorkers override (a submitted
+// job must not fan one sweep across an unbounded replica count).
+const MaxJobScanWorkers = 256
+
+// MaxJobTicks bounds a temporal job's observation window in ticks: one
+// submitted job must not make an executor allocate an unbounded per-tick
+// result (the temporal analogue of MaxJobScanWorkers). At the default 1 Hz
+// it equals the session timeline horizon.
+const MaxJobTicks = 4096
 
 // normalized fills the spec's kind defaults and validates it.
 func (s JobSpec) normalized() (JobSpec, error) {
+	if s.ScanWorkers != nil {
+		if w := *s.ScanWorkers; w < 0 || w > MaxJobScanWorkers {
+			return s, fmt.Errorf("service: scan_workers %d out of range [0, %d]", w, MaxJobScanWorkers)
+		}
+	}
 	switch s.Kind {
 	case KindKernelBase:
 		if s.CPU == "" {
@@ -105,6 +155,65 @@ func (s JobSpec) normalized() (JobSpec, error) {
 			return s, fmt.Errorf("service: cloud job needs provider ec2|gce|azure, got %q", s.Provider)
 		}
 		return s, nil // the scenario fixes the preset
+	case KindBehaviorSpy:
+		if s.CPU == "" {
+			s.CPU = "1065G7"
+		}
+		if len(s.Targets) == 0 {
+			s.Targets = []string{"bluetooth", "psmouse"}
+		}
+		if len(s.Targets) > core.MaxSpyTargets {
+			return s, fmt.Errorf("service: %d spy targets, max %d", len(s.Targets), core.MaxSpyTargets)
+		}
+		if s.DurationSec == 0 {
+			s.DurationSec = 20
+		}
+		if s.DurationSec < 0 {
+			return s, fmt.Errorf("service: negative spy window %v", s.DurationSec)
+		}
+		if s.TickSec == 0 {
+			s.TickSec = 1
+		}
+		if s.TickSec < 0 {
+			return s, fmt.Errorf("service: negative tick %v", s.TickSec)
+		}
+		// The window must be a whole number of ticks: the session advances
+		// its timeline by DurationSec per job, so a fractional tick would
+		// make consecutive windows overlap off-grid and break the
+		// window-k == direct-run-window-k contract. It must also be
+		// bounded — the executor allocates one record per tick.
+		ticks := s.DurationSec / s.TickSec
+		if ticks > MaxJobTicks {
+			return s, fmt.Errorf("service: spy window of %.0f ticks exceeds the %d-tick job bound", ticks, MaxJobTicks)
+		}
+		if math.Abs(ticks-math.Round(ticks)) > 1e-9*math.Max(ticks, 1) {
+			return s, fmt.Errorf("service: duration_sec %v is not a whole number of %vs ticks", s.DurationSec, s.TickSec)
+		}
+	case KindAppFingerprint:
+		if s.CPU == "" {
+			s.CPU = "1065G7"
+		}
+		if s.App == "" {
+			s.App = "music-player"
+		}
+		if !knownAppProfile(s.App) {
+			return s, fmt.Errorf("service: unknown app profile %q", s.App)
+		}
+		if s.Ticks == 0 {
+			s.Ticks = 8
+		}
+		if s.Ticks < 0 {
+			return s, fmt.Errorf("service: negative tick count %d", s.Ticks)
+		}
+		if s.Ticks > MaxJobTicks {
+			return s, fmt.Errorf("service: %d ticks exceeds the %d-tick job bound", s.Ticks, MaxJobTicks)
+		}
+		if s.TickSec == 0 {
+			s.TickSec = 1
+		}
+		if s.TickSec < 0 {
+			return s, fmt.Errorf("service: negative tick %v", s.TickSec)
+		}
 	default:
 		return s, fmt.Errorf("service: unknown job kind %q", s.Kind)
 	}
@@ -142,9 +251,27 @@ func (s JobSpec) victimKey() string {
 		return fmt.Sprintf("windows|%s|seed=%d|drivers=%d", s.CPU, s.Seed, s.Drivers)
 	case KindUserScan:
 		return fmt.Sprintf("user|%s|seed=%d|entropy=%d|sgx=%v", s.CPU, s.Seed, s.EntropyBits, s.SGX)
+	case KindBehaviorSpy:
+		// Stateful: the key pins every field that shapes the victim's
+		// timeline — jobs sharing it continue one spy session.
+		return fmt.Sprintf("spy|%s|seed=%d|flare=%v|targets=%s|tick=%g|win=%g",
+			s.CPU, s.Seed, s.FLARE, strings.Join(s.Targets, ","), s.TickSec, s.DurationSec)
+	case KindAppFingerprint:
+		return fmt.Sprintf("appfp|%s|seed=%d|flare=%v|app=%s|ticks=%d|tick=%g",
+			s.CPU, s.Seed, s.FLARE, s.App, s.Ticks, s.TickSec)
 	default: // cloud boots inside CloudBreak; no session sharing
 		return ""
 	}
+}
+
+// knownAppProfile reports whether name is in the standard population.
+func knownAppProfile(name string) bool {
+	for _, prof := range core.StandardAppProfiles() {
+		if prof.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Status is a job's lifecycle state.
@@ -189,6 +316,17 @@ type Result struct {
 	ModulesFound int `json:"modules_found,omitempty"`
 	// ViaTrampoline reports the KPTI path (cloud/ec2).
 	ViaTrampoline bool `json:"via_trampoline,omitempty"`
+	// WindowStartSec / WindowEndSec locate a temporal job's observation
+	// window on the session's victim timeline (behaviorspy, appfingerprint):
+	// the position the session had reached when this job ran.
+	WindowStartSec float64 `json:"window_start_sec,omitempty"`
+	WindowEndSec   float64 `json:"window_end_sec,omitempty"`
+	// TargetAccuracy is the per-module detection accuracy vs ground truth
+	// (behaviorspy).
+	TargetAccuracy map[string]float64 `json:"target_accuracy,omitempty"`
+	// App is the classified application (appfingerprint; empty when no
+	// profile matched).
+	App string `json:"app,omitempty"`
 	// ProbeSimSec and TotalSimSec are the simulated attacker runtimes in
 	// seconds (the Table I probing/total split).
 	ProbeSimSec float64 `json:"probe_sim_sec"`

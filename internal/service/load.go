@@ -24,6 +24,10 @@ func DefaultMix() []JobSpec {
 		{Kind: KindUserScan, CPU: "1065G7", SGX: true},
 		{Kind: KindKernelBase, CPU: "9900"}, // Coffee Lake victim
 		{Kind: KindCloud, Provider: "gce"},
+		// Temporal kinds: stateful sessions whose victim timeline advances
+		// one window per job (repeat seeds continue the same timeline).
+		{Kind: KindBehaviorSpy, CPU: "1065G7", DurationSec: 10},
+		{Kind: KindAppFingerprint, CPU: "1065G7", App: "fps-game"},
 	}
 }
 

@@ -38,6 +38,11 @@ type Config struct {
 	FreshWorkers bool
 	// MaxIdleSessions bounds the session cache (0 means 2×Executors).
 	MaxIdleSessions int
+	// Store bounds the result store's retention (see StoreConfig): max
+	// retained jobs and an optional finished-job TTL, so a long-lived
+	// daemon's memory stays bounded while the aggregate stats keep
+	// counting.
+	Store StoreConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -85,7 +90,7 @@ func New(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:   cfg,
 		cache: newSessionCache(cfg.MaxIdleSessions),
-		store: NewStore(),
+		store: NewBoundedStore(cfg.Store),
 		queue: make(chan *Job, cfg.QueueDepth),
 	}
 	if !cfg.FreshWorkers {
@@ -198,7 +203,14 @@ func (s *Scheduler) executor() {
 		if sess != nil {
 			s.store.setProvenance(j, reused, sess.cachedCal)
 		}
-		res, err := execute(sess, j.Spec, s.scanOptions())
+		opt := s.scanOptions()
+		if j.Spec.ScanWorkers != nil {
+			// Per-job override (validated at submission): parallelism is
+			// host-side only, so results stay bit-identical to the
+			// scheduler default — only this job's latency changes.
+			opt.Workers = *j.Spec.ScanWorkers
+		}
+		res, err := execute(sess, j.Spec, opt)
 		s.cache.release(sess)
 		s.store.complete(j, res, err)
 	}

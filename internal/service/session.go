@@ -2,12 +2,15 @@ package service
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
+	"repro/internal/behavior"
 	"repro/internal/core"
 	"repro/internal/linux"
 	"repro/internal/machine"
 	"repro/internal/paging"
+	"repro/internal/rng"
 	"repro/internal/sgx"
 	"repro/internal/uarch"
 	"repro/internal/userspace"
@@ -23,19 +26,36 @@ type victim struct {
 	proc   *userspace.Process // user-class victims
 }
 
-// session is a victim plus a calibrated prober, rewound to its
-// post-calibration checkpoint between jobs. A session executes one job at
-// a time; the cache hands each session to exactly one executor.
+// session is a victim plus a calibrated prober, rewound to its saved
+// snapshot between jobs. For the stateless attack kinds the snapshot is the
+// post-calibration state and never moves — every job replays from the same
+// point. For the temporal kinds (behaviorspy, appfingerprint) the session
+// is *stateful*: after each job the session re-snapshots, so the next job
+// continues the victim's timeline where the previous window ended. A
+// session executes one job at a time; the cache hands each session to
+// exactly one executor.
 type session struct {
 	key string
 	victim
 	p *core.Prober
-	// state is the post-calibration execution checkpoint every job on this
-	// session starts from.
+	// state is the snapshot every job on this session starts from: the
+	// post-calibration checkpoint for stateless kinds, the end of the
+	// previous window for temporal kinds.
 	state core.SessionState
 	// cachedCal reports the session skipped Calibrate via the calibration
 	// cache.
 	cachedCal bool
+
+	// Temporal-session state (nil/zero for stateless kinds).
+	//
+	// drv replays the victim's activity timelines; truth holds the ground
+	// truth for scoring; nextT0 is where the next observation window
+	// starts on the victim timeline.
+	drv    *behavior.Driver
+	truth  []*behavior.Timeline
+	spy    *core.BehaviorSpy
+	fp     *core.AppFingerprinter
+	nextT0 float64
 }
 
 // sessionCache pools sessions per victim key and caches calibrations so a
@@ -131,7 +151,7 @@ func buildSession(spec JobSpec, cal core.Calibration, haveCal bool) (*session, e
 	m := machine.New(preset, spec.Seed)
 	v := victim{m: m}
 	switch spec.Kind {
-	case KindKernelBase, KindModules, KindKPTI:
+	case KindKernelBase, KindModules, KindKPTI, KindBehaviorSpy, KindAppFingerprint:
 		k, err := linux.Boot(m, linux.Config{
 			Seed:             spec.Seed,
 			KPTI:             spec.Kind == KindKPTI,
@@ -176,7 +196,10 @@ func buildSession(spec JobSpec, cal core.Calibration, haveCal bool) (*session, e
 	if haveCal {
 		s.p = core.NewProberFromCalibration(m, core.Options{}, cal)
 		s.cachedCal = true
-		s.state = cal.State
+		// Re-checkpoint on this machine: the adopted state's page-table
+		// mutation counters belong to the calibrated original, and the
+		// session's per-job Restore verifies them against *this* boot.
+		s.state = s.p.Checkpoint()
 	} else {
 		p, err := core.NewProber(m, core.Options{})
 		if err != nil {
@@ -185,7 +208,109 @@ func buildSession(spec JobSpec, cal core.Calibration, haveCal bool) (*session, e
 		s.p = p
 		s.state = p.Checkpoint()
 	}
+	if spec.Kind == KindBehaviorSpy || spec.Kind == KindAppFingerprint {
+		if err := s.initTemporal(spec); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// spyTimelineHorizon is how far into the victim's future the temporal
+// sessions' activity timelines extend, in seconds. Windows past the
+// horizon observe an idle victim (every activity off), so a very
+// long-lived session degrades gracefully instead of failing.
+const spyTimelineHorizon = 4096.0
+
+// activityFor maps a watched module to the §IV-E activity that exercises
+// it, with a generic 30 Hz activity for modules outside the paper's set.
+func activityFor(module string) behavior.Activity {
+	switch module {
+	case "bluetooth":
+		return behavior.BluetoothAudio()
+	case "psmouse":
+		return behavior.MouseMovement()
+	case "usbhid":
+		return behavior.Keystrokes()
+	default:
+		return behavior.Activity{Name: module, Module: module, PagesTouched: 6, EventHz: 30}
+	}
+}
+
+// initTemporal prepares a stateful temporal session: the watched modules
+// are located with the module attack (the same reconnaissance a real spy
+// runs once per victim), the victim's activity timelines are derived
+// deterministically from the spec seed, and the session snapshot is taken
+// at timeline position 0 — the state the first window restores.
+func (s *session) initTemporal(spec JobSpec) error {
+	located := core.Modules(s.p, core.SizeTable(s.kernel.ProcModules()))
+	switch spec.Kind {
+	case KindBehaviorSpy:
+		targets, err := core.LocateTargets(located, spec.Targets...)
+		if err != nil {
+			return err
+		}
+		// The victim's day: one bursty timeline per watched module, a pure
+		// function of the victim seed.
+		r := rng.New(spec.Seed ^ 0xbe4a71e5)
+		var tls []*behavior.Timeline
+		for _, name := range spec.Targets {
+			tls = append(tls, behavior.RandomTimeline(activityFor(name), spyTimelineHorizon, 12, 18, r))
+		}
+		drv, err := behavior.NewDriver(s.kernel, tls...)
+		if err != nil {
+			return err
+		}
+		drv.SetResolution(spec.TickSec)
+		s.drv, s.truth = drv, tls
+		s.spy = &core.BehaviorSpy{P: s.p, Targets: targets, PagesPerModule: 10, TickSec: spec.TickSec}
+	case KindAppFingerprint:
+		// Watch the union of the profile population's modules — the spy
+		// must see which are active AND which are idle to classify.
+		watch := make(map[string]linux.LoadedModule)
+		var truthProf core.AppProfile
+		for _, prof := range core.StandardAppProfiles() {
+			if prof.Name == spec.App {
+				truthProf = prof
+			}
+			for _, mn := range prof.Modules {
+				name := appModuleName(mn)
+				if _, ok := watch[name]; ok {
+					continue
+				}
+				targets, err := core.LocateTargets(located, name)
+				if err != nil {
+					return err
+				}
+				watch[name] = targets[0]
+			}
+		}
+		drv, err := behavior.NewDriver(s.kernel, core.TimelinesFor(truthProf, spyTimelineHorizon)...)
+		if err != nil {
+			return err
+		}
+		drv.SetResolution(spec.TickSec)
+		s.drv = drv
+		s.fp = &core.AppFingerprinter{
+			P:        s.p,
+			Watch:    watch,
+			Ticks:    spec.Ticks,
+			TickSec:  spec.TickSec,
+			Profiles: core.StandardAppProfiles(),
+		}
+	}
+	// Timeline position 0 with the reconnaissance done: the state the
+	// first window starts from.
+	s.state = s.p.Checkpoint()
+	return nil
+}
+
+// appModuleName strips the "alias:real" profile notation.
+func appModuleName(name string) string {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
 }
 
 // libWindow returns the §IV-F scan range of the session's process: the

@@ -12,12 +12,45 @@ import (
 // lock on every /stats poll.
 const latencyWindow = 4096
 
+// DefaultStoreMaxJobs is the default retention bound: a long-lived scand
+// keeps at most this many finished jobs queryable (aggregate stats are
+// unaffected by eviction; they live in counters, not in the job map).
+const DefaultStoreMaxJobs = 16384
+
+// StoreConfig bounds the result store's retention.
+type StoreConfig struct {
+	// MaxJobs caps how many jobs the store retains. 0 means
+	// DefaultStoreMaxJobs; negative means unbounded (the pre-eviction
+	// behaviour, for tests and short-lived runs). Only *finished* jobs are
+	// ever evicted — queued and running jobs are pinned, so a drain always
+	// has every in-flight job to finish — and eviction is oldest-finished
+	// first.
+	MaxJobs int
+	// TTL, when positive, additionally evicts finished jobs whose
+	// completion is older than TTL (checked on every completion and on
+	// Stats polls).
+	TTL time.Duration
+}
+
+func (c StoreConfig) withDefaults() StoreConfig {
+	if c.MaxJobs == 0 {
+		c.MaxJobs = DefaultStoreMaxJobs
+	}
+	return c
+}
+
 // Store is the streaming result store: it owns every job the scheduler has
-// accepted, streams completions to subscribers, and aggregates the
-// service-level metrics.
+// accepted (up to the configured retention bound), streams completions to
+// subscribers, and aggregates the service-level metrics.
 type Store struct {
 	mu   sync.Mutex
+	cfg  StoreConfig
 	jobs map[uint64]*Job
+	// finished queues finished job IDs in completion order — the eviction
+	// order. Queued/running jobs are never in it and never evicted.
+	finished  []uint64
+	evicted   int
+	submitted int
 	// latencies rings the last latencyWindow finished jobs' end-to-end
 	// host latencies (submit → finish); latNext is the overwrite cursor
 	// once the ring is full.
@@ -35,9 +68,16 @@ type Store struct {
 	dropped   int
 }
 
-// NewStore creates an empty store.
-func NewStore() *Store {
-	return &Store{jobs: make(map[uint64]*Job), subs: make(map[int]chan *Job)}
+// NewStore creates an empty store with the default retention bound.
+func NewStore() *Store { return NewBoundedStore(StoreConfig{}) }
+
+// NewBoundedStore creates an empty store with explicit retention bounds.
+func NewBoundedStore(cfg StoreConfig) *Store {
+	return &Store{
+		cfg:  cfg.withDefaults(),
+		jobs: make(map[uint64]*Job),
+		subs: make(map[int]chan *Job),
+	}
 }
 
 // add registers a freshly submitted job.
@@ -45,8 +85,37 @@ func (st *Store) add(j *Job) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.jobs[j.ID] = j
+	st.submitted++
 	if st.firstSub.IsZero() || j.Submitted.Before(st.firstSub) {
 		st.firstSub = j.Submitted
+	}
+}
+
+// evictLocked applies the retention policy (call with st.mu held): drop
+// the oldest finished jobs over the MaxJobs cap, then any finished job
+// older than the TTL. In-flight jobs are never touched, and the aggregate
+// counters survive eviction untouched.
+func (st *Store) evictLocked(now time.Time) {
+	drop := func() {
+		id := st.finished[0]
+		st.finished = st.finished[1:]
+		delete(st.jobs, id)
+		st.evicted++
+	}
+	if st.cfg.MaxJobs > 0 {
+		for len(st.finished) > 0 && len(st.jobs) > st.cfg.MaxJobs {
+			drop()
+		}
+	}
+	if st.cfg.TTL > 0 {
+		cutoff := now.Add(-st.cfg.TTL)
+		for len(st.finished) > 0 {
+			j := st.jobs[st.finished[0]]
+			if j == nil || j.Finished.After(cutoff) {
+				break
+			}
+			drop()
+		}
 	}
 }
 
@@ -101,6 +170,8 @@ func (st *Store) complete(j *Job, res *Result, err error) {
 	if j.Finished.After(st.lastDone) {
 		st.lastDone = j.Finished
 	}
+	st.finished = append(st.finished, j.ID)
+	st.evictLocked(j.Finished)
 	for _, ch := range st.subs {
 		select {
 		case ch <- j:
@@ -176,6 +247,11 @@ type Stats struct {
 	CalibrationsReused int `json:"calibrations_reused"`
 	PoolReplicas       int `json:"pool_replicas"`
 	StreamDropped      int `json:"stream_dropped,omitempty"`
+	// Evicted counts finished jobs dropped by the retention policy; their
+	// contribution to the aggregates above is retained.
+	Evicted int `json:"evicted,omitempty"`
+	// Retained is the number of jobs currently queryable.
+	Retained int `json:"retained"`
 }
 
 // Stats computes the current aggregates. The latency quantiles cover the
@@ -184,13 +260,16 @@ type Stats struct {
 // executors' complete path.
 func (st *Store) Stats() Stats {
 	st.mu.Lock()
+	st.evictLocked(time.Now())
 	s := Stats{
-		Submitted:      len(st.jobs),
+		Submitted:      st.submitted,
 		Completed:      st.completed,
 		Failed:         st.failed,
 		Rejected:       st.rejected,
 		SimAttackerSec: st.simSec,
 		StreamDropped:  st.dropped,
+		Evicted:        st.evicted,
+		Retained:       len(st.jobs),
 	}
 	if st.completed > 0 {
 		s.SuccessRate = float64(st.correct) / float64(st.completed)

@@ -144,6 +144,44 @@ func (s *setAssoc) flushASID(asid uint16) {
 	}
 }
 
+// savedEntry pins one valid entry to its exact slot. The way index matters:
+// eviction breaks LRU ties by slot order, so a restore that repacked entries
+// would diverge from the snapshotted cache on the next fill.
+type savedEntry struct {
+	set, way int
+	e        Entry
+}
+
+// cacheSnapshot is the full replayable state of one set-associative cache:
+// the LRU clock plus every valid entry in place. Only valid entries are
+// stored, so snapshotting the (common) empty post-sweep state is ~free.
+type cacheSnapshot struct {
+	clock   uint64
+	entries []savedEntry
+}
+
+// snapshot captures the cache contents.
+func (s *setAssoc) snapshot() cacheSnapshot {
+	snap := cacheSnapshot{clock: s.clock}
+	for si, set := range s.sets {
+		for wi := range set {
+			if set[wi].valid {
+				snap.entries = append(snap.entries, savedEntry{set: si, way: wi, e: set[wi]})
+			}
+		}
+	}
+	return snap
+}
+
+// restore rewinds the cache to a snapshot taken on a same-geometry cache.
+func (s *setAssoc) restore(snap cacheSnapshot) {
+	s.flush(false)
+	s.clock = snap.clock
+	for _, se := range snap.entries {
+		s.sets[se.set][se.way] = se.e
+	}
+}
+
 // count returns the number of valid entries (for tests/diagnostics).
 func (s *setAssoc) count() int {
 	n := 0
@@ -272,6 +310,24 @@ func (t *TLB) FlushASID(asid uint16) {
 // EntryCount returns the number of valid entries across both levels.
 func (t *TLB) EntryCount() int { return t.l1.count() + t.l2.count() }
 
+// Snapshot is the full replayable TLB state: both levels' contents and LRU
+// clocks. A restored TLB behaves bit-identically to the snapshotted one for
+// every subsequent lookup/fill/evict sequence.
+type Snapshot struct {
+	l1, l2 cacheSnapshot
+}
+
+// Snapshot captures both TLB levels.
+func (t *TLB) Snapshot() Snapshot {
+	return Snapshot{l1: t.l1.snapshot(), l2: t.l2.snapshot()}
+}
+
+// Restore rewinds the TLB to a snapshot taken on a same-config TLB.
+func (t *TLB) Restore(s Snapshot) {
+	t.l1.restore(s.l1)
+	t.l2.restore(s.l2)
+}
+
 // PSC is the set of Intel-style paging-structure caches: one cache per
 // interior level (PML4E, PDPTE, PDE). PT entries are never cached — the
 // property the paper's level attack exploits (§III-B: "Intel's
@@ -369,4 +425,28 @@ func (p *PSC) Flush() {
 // EntryCount returns the number of valid PSC entries.
 func (p *PSC) EntryCount() int {
 	return p.pml4e.count() + p.pdpte.count() + p.pde.count()
+}
+
+// PSCSnapshot is the full replayable paging-structure-cache state.
+type PSCSnapshot struct {
+	pml4e, pdpte, pde cacheSnapshot
+	enabled           bool
+}
+
+// Snapshot captures all three per-level caches plus the Enabled gate.
+func (p *PSC) Snapshot() PSCSnapshot {
+	return PSCSnapshot{
+		pml4e:   p.pml4e.snapshot(),
+		pdpte:   p.pdpte.snapshot(),
+		pde:     p.pde.snapshot(),
+		enabled: p.Enabled,
+	}
+}
+
+// Restore rewinds the PSC to a snapshot.
+func (p *PSC) Restore(s PSCSnapshot) {
+	p.pml4e.restore(s.pml4e)
+	p.pdpte.restore(s.pdpte)
+	p.pde.restore(s.pde)
+	p.Enabled = s.enabled
 }
