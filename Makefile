@@ -5,7 +5,13 @@
 #   make test-race - the full suite under the race detector (catches
 #                    replica-state leaks between pooled/concurrent scans
 #                    and scheduler races in the service layer)
-#   make ci        - what CI runs: vet + tier-1 + the race-parity suite
+#   make ci        - what CI runs: vet + tier-1 + the race-parity suite +
+#                    the GOMAXPROCS=2 tier (ci-smp)
+#   make ci-smp    - re-run the build and the temporal/engine suites with
+#                    GOMAXPROCS=2 (temporal suite under -race): single-core
+#                    CI containers otherwise never execute the sharded
+#                    fan-out with real goroutine preemption, which is where
+#                    merge races and replica-state leaks would bite
 #   make bench     - vet + tier-1 + race + the scan-engine benchmarks;
 #                    appends the parsed results to BENCH_scan.json so the
 #                    perf trajectory is tracked across PRs
@@ -23,11 +29,17 @@
 
 GO ?= go
 
-.PHONY: all vet test test-race ci bench bench-all bench-compare load load-smoke
+.PHONY: all vet test test-race ci ci-smp bench bench-all bench-compare load load-smoke
 
 all: vet test
 
-ci: vet test test-race load-smoke bench-compare
+ci: vet test test-race ci-smp load-smoke bench-compare
+
+# -count=1: the test cache does not key on GOMAXPROCS, so without it this
+# tier would silently reuse the single-P results.
+ci-smp:
+	GOMAXPROCS=2 $(GO) test -count=1 ./internal/scan ./internal/core ./internal/service
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Temporal|BehaviorSpy|Fingerprint|Replay|Scan' ./internal/core ./internal/behavior ./internal/service
 
 vet:
 	$(GO) vet ./...

@@ -11,7 +11,11 @@
 // Daemon mode:
 //
 //	scand [-addr :8440] [-executors N] [-scan-workers N] [-queue N] [-fresh]
-//	      [-store-max-jobs N] [-store-ttl D]
+//	      [-store-max-jobs N] [-store-ttl D] [-pprof localhost:6060]
+//
+// -pprof serves net/http/pprof on a side listener (works in both daemon and
+// load mode), so CPU/heap profiles of a live daemon never share a port with
+// the job API.
 //
 //	POST /jobs       {"kind":"kernelbase","cpu":"12400F","seed":7}  → {"id":1}
 //	POST /jobs       {"kind":"behaviorspy","seed":7,"duration_sec":20}
@@ -33,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +56,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	var (
 		addr        = fs.String("addr", ":8440", "daemon listen address")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
 		executors   = fs.Int("executors", 0, "concurrent job executors (0 = GOMAXPROCS)")
 		scanWorkers = fs.Int("scan-workers", 0, "scan-engine workers per job (0 = inline, negative = all CPUs)")
 		queue       = fs.Int("queue", 64, "bounded job-queue depth")
@@ -79,6 +85,19 @@ func run(args []string, stdout, stderr *os.File) int {
 		Store:        service.StoreConfig{MaxJobs: *storeMax, TTL: *storeTTL},
 	}
 	s := service.New(cfg)
+
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on the
+		// default mux; serve that mux on a side listener so profiles never
+		// share a port with the job API (daemon mode) and are reachable
+		// while the load generator hammers the scheduler (load mode).
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(stderr, "scand: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stdout, "scand: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	if *load {
 		return runLoad(s, *jobs, *concurrency, *victims, *seed, *benchOut, stdout, stderr)

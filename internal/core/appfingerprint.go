@@ -99,7 +99,9 @@ func (f *AppFingerprinter) init() ([]watchEntry, error) {
 // tick runs one observation tick at victim time t on p's machine and
 // returns the bitmask of watched modules (in sorted-name order) whose
 // leading pages probed TLB-hot. Same canonical tick shape as the behavior
-// spy's: reset, driver replay, clock advance, probes, eviction.
+// spy's: reset, driver replay, clock advance, probes, eviction — and the
+// same batched per-target sweep (ProbeTLBBatch into prober-owned windows,
+// bit-identical to the per-page loop, zero steady-state allocations).
 func (f *AppFingerprinter) tick(p *Prober, d *behavior.Driver, watch []watchEntry, t float64) uint64 {
 	m := p.M
 	m.ResetTranslationState()
@@ -108,11 +110,16 @@ func (f *AppFingerprinter) tick(p *Prober, d *behavior.Driver, watch []watchEntr
 	var mask uint64
 	for wi := range watch {
 		lm := &watch[wi].lm
+		n := leadingPages(4, lm.Size)
 		best := 0.0
-		for pg := 0; pg < 4 && uint64(pg)<<12 < lm.Size; pg++ {
-			pr := p.ProbeTLB(lm.Base + paging4k(pg))
-			if pg == 0 || pr.Cycles < best {
-				best = pr.Cycles
+		if n > 0 {
+			cyc, fast := p.tickWindows(n)
+			p.ProbeTLBBatch(lm.Base, n, paging.Page4K, cyc, fast)
+			best = cyc[0]
+			for _, c := range cyc[1:] {
+				if c < best {
+					best = c
+				}
 			}
 		}
 		if p.Threshold.Classify(best) {

@@ -135,6 +135,11 @@ func (s *BehaviorSpy) init() error {
 // so the next tick starts cold. The tick's outcome is a pure function of
 // (victim image, driver schedule, t, p's noise position) — which machine
 // runs it never matters, the property the sharded sweep rests on.
+//
+// Each target's leading-page sweep goes through ProbeTLBBatch into
+// prober-owned windows — bit-identical to the per-page ProbeTLB loop it
+// replaces, with the per-probe plumbing hoisted and zero steady-state
+// allocations (the alloc-guard tests pin this).
 func (s *BehaviorSpy) tick(p *Prober, d *behavior.Driver, t float64) tickObs {
 	m := p.M
 	m.ResetTranslationState()
@@ -143,15 +148,16 @@ func (s *BehaviorSpy) tick(p *Prober, d *behavior.Driver, t float64) tickObs {
 	var obs tickObs
 	for ti := range s.Targets {
 		target := &s.Targets[ti]
+		n := leadingPages(s.PagesPerModule, target.Size)
 		min := 0.0
-		for pg := 0; pg < s.PagesPerModule; pg++ {
-			va := target.Base + paging.VirtAddr(pg*paging.Page4K)
-			if uint64(va) >= uint64(target.End()) {
-				break
-			}
-			pr := p.ProbeTLB(va)
-			if pg == 0 || pr.Cycles < min {
-				min = pr.Cycles
+		if n > 0 {
+			cyc, fast := p.tickWindows(n)
+			p.ProbeTLBBatch(target.Base, n, paging.Page4K, cyc, fast)
+			min = cyc[0]
+			for _, c := range cyc[1:] {
+				if c < min {
+					min = c
+				}
 			}
 		}
 		obs.min[ti] = min
@@ -159,6 +165,16 @@ func (s *BehaviorSpy) tick(p *Prober, d *behavior.Driver, t float64) tickObs {
 	}
 	m.EvictTLB()
 	return obs
+}
+
+// leadingPages returns how many of a module's leading pages a tick probes:
+// want pages, clipped to the pages the module actually maps.
+func leadingPages(want int, size uint64) int {
+	n := 0
+	for pg := 0; pg < want && uint64(pg)<<12 < size; pg++ {
+		n++
+	}
+	return n
 }
 
 // spyWorker shards the spy's time axis: probe index i is tick i of the

@@ -129,6 +129,10 @@ type Prober struct {
 	batchMeas []float64
 	batchVals []float64
 	batchFast []bool
+	// tickCyc backs the temporal ticks' per-target measurement window (see
+	// tickWindows); it must be distinct from batchMeas, which ProbeTLBBatch
+	// uses for the raw measurements the window is reduced from.
+	tickCyc []float64
 	// replicaBuf backs runSweep's per-scan replica list (a Prober runs one
 	// scan at a time, so one buffer suffices).
 	replicaBuf []*Prober
@@ -636,6 +640,50 @@ func (p *Prober) ScanMapped(start paging.VirtAddr, n int, stride uint64) ([]bool
 func (p *Prober) ProbeTLB(va paging.VirtAddr) ProbeResult {
 	t := p.measureLoad(va)
 	return ProbeResult{VA: va, Cycles: t, Fast: p.Threshold.Classify(t)}
+}
+
+// ProbeTLBBatch runs the TLB attack (P4) over n pages from start at the
+// given stride — the batched form of a ProbeTLB loop, bit-identical to it
+// for the same machine state and noise stream: one timed masked load per
+// page, in page order, no warm-up execution (the attack's whole point is
+// reading the translation state the *victim* left behind). The op plumbing
+// and noise-sigma composition are paid once per batch through
+// machine.MeasureBatch, and all scratch lives on the prober, so the
+// temporal tick loops (behavior spy, app fingerprinting) probe their
+// per-target leading pages without allocating. cycles[i] receives page i's
+// measurement and fast[i] its threshold verdict; both must have length >= n.
+func (p *Prober) ProbeTLBBatch(start paging.VirtAddr, n int, stride uint64, cycles []float64, fast []bool) {
+	if cap(p.batchOps) < n {
+		p.batchOps = make([]avx.Op, 0, n)
+		p.batchPos = make([]int, 0, n)
+	}
+	ops := p.batchOps[:0]
+	for i := 0; i < n; i++ {
+		ops = append(ops, avx.MaskedLoad(start+paging.VirtAddr(uint64(i)*stride), avx.ZeroMask))
+	}
+	if cap(p.batchMeas) < n {
+		p.batchMeas = make([]float64, n)
+	}
+	meas := p.batchMeas[:n]
+	p.faults += p.M.MeasureBatch(ops, 0, 1, meas)
+	// measureLoad widens every load sample by the configured timer jitter.
+	jitter := p.Opt.ExtraJitterSigma
+	for i, v := range meas {
+		v += jitter
+		cycles[i] = v
+		fast[i] = p.Threshold.Classify(v)
+	}
+}
+
+// tickWindows returns the reusable per-tick measurement windows (cycles +
+// fast flags) the temporal tick loops probe into: prober-owned so a
+// steady-state tick allocates nothing, distinct from the batch scratch
+// ProbeTLBBatch consumes internally.
+func (p *Prober) tickWindows(n int) ([]float64, []bool) {
+	if cap(p.tickCyc) < n {
+		p.tickCyc = make([]float64, n)
+	}
+	return p.tickCyc[:n], p.fastWindow(n)
 }
 
 // PermClass is the permission classification the paired probe yields (P5).

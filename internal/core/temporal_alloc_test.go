@@ -1,0 +1,84 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The spy tick is the temporal hot path: driver replay, clock advance, one
+// batched leading-page sweep per target, eviction. After the first tick has
+// warmed the prober's batch windows and the machine's walk scratch, a tick
+// must not allocate at all — ReplayWindow's kernel touches walk with the
+// machine-owned scratch and the probes go through ProbeTLBBatch into
+// prober-owned windows.
+func TestSpyTickZeroAllocSteadyState(t *testing.T) {
+	p, drv, targets, _ := temporalVictim(t, 611, Options{})
+	spy := &BehaviorSpy{P: p, Targets: targets, PagesPerModule: 10, TickSec: 1}
+	if err := spy.init(); err != nil {
+		t.Fatal(err)
+	}
+	spy.tick(p, drv, 6) // warm scratch inside an active window
+	if n := testing.AllocsPerRun(20, func() {
+		spy.tick(p, drv, 6)
+	}); n > 0 {
+		t.Errorf("spy tick allocates %.1f/op at steady state, want 0", n)
+	}
+}
+
+// The fingerprint tick shares the spy tick's shape (same replay, batched
+// sweep per watched module, eviction) and must share its zero-allocation
+// steady state.
+func TestFingerprintTickZeroAllocSteadyState(t *testing.T) {
+	p, drv, targets, _ := temporalVictim(t, 612, Options{})
+	watch := make([]watchEntry, len(targets))
+	for i, lm := range targets {
+		watch[i] = watchEntry{name: lm.Name, lm: lm}
+	}
+	fp := &AppFingerprinter{P: p, Ticks: 8, TickSec: 1}
+	fp.tick(p, drv, watch, 6) // warm scratch inside an active window
+	if n := testing.AllocsPerRun(20, func() {
+		fp.tick(p, drv, watch, 6)
+	}); n > 0 {
+		t.Errorf("fingerprint tick allocates %.1f/op at steady state, want 0", n)
+	}
+}
+
+// The per-machine walk scratch must keep ReplayWindow stateless and
+// replica-safe: replaying interleaved on the parent machine and on a clone
+// touches only the machine each call runs on (so the interleaving allocates
+// nothing once both scratches are warm), never moves the driver's cursor,
+// and leaves both machines in bit-identical victim state — probing them
+// from the same noise position yields the same observations.
+func TestReplayWindowStatelessReplicaSafe(t *testing.T) {
+	p, drv, targets, _ := temporalVictim(t, 613, Options{})
+	spy := &BehaviorSpy{P: p, Targets: targets, PagesPerModule: 10, TickSec: 1}
+	if err := spy.init(); err != nil {
+		t.Fatal(err)
+	}
+	m := p.M
+	c := m.Clone(999) // replica: same state, private walk scratch
+	rp := p.CloneTo(c)
+
+	cursor := drv.Now()
+	drv.ReplayWindow(m, 5, 6) // warm both machines' walk scratch
+	drv.ReplayWindow(c, 5, 6)
+	if n := testing.AllocsPerRun(10, func() {
+		drv.ReplayWindow(m, 6, 7)
+		drv.ReplayWindow(c, 6, 7)
+	}); n > 0 {
+		t.Errorf("interleaved parent/replica replay allocates %.1f/op at steady state, want 0", n)
+	}
+	if now := drv.Now(); now != cursor {
+		t.Fatalf("ReplayWindow moved the driver cursor from %v to %v", cursor, now)
+	}
+
+	// Both machines received the identical replay sequence; from the same
+	// noise position the tick observations must be bit-identical.
+	m.ReseedNoise(4242)
+	c.ReseedNoise(4242)
+	want := spy.tick(p, drv, 8)
+	got := spy.tick(rp, drv, 8)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("replica tick observations differ from parent after interleaved replays")
+	}
+}

@@ -68,6 +68,12 @@ type Machine struct {
 	// must be distinct from visitBuf because ExecMasked's own translations
 	// reuse visitBuf between the batch's samples.
 	evictBuf []phys.PFN
+	// touchBuf backs KernelTouch's victim-side walks. Victim events replayed
+	// between attacker probes (behavior.Driver.ReplayWindow fires hundreds
+	// per spy window) must not share visitBuf: the walk scratch is owned by
+	// the machine the events run on, so every worker replica replays with
+	// its own buffer and the temporal hot path stays allocation-free.
+	touchBuf []phys.PFN
 	elemBuf  [8]uint32
 
 	// Per-call scratch state of ExecMasked: the page translations of the
@@ -887,7 +893,8 @@ func (m *Machine) InvlpgAll(vas []paging.VirtAddr) {
 func (m *Machine) KernelTouch(vas ...paging.VirtAddr) {
 	for _, va := range vas {
 		page := paging.PageBase(va, paging.Page4K)
-		w := m.KernelAS.Translate(page, nil)
+		w := m.KernelAS.Translate(page, m.touchBuf)
+		m.touchBuf = w.Visited
 		if !w.Mapped {
 			continue
 		}

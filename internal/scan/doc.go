@@ -57,6 +57,29 @@
 // chunk-seeded stream (machine.SwapNoise), so a page's store noise does
 // not depend on how many earlier pages were mapped.
 //
+// # Zero-allocation temporal path
+//
+// The temporal sweeps run thousands of ticks per observation window, and
+// every tick replays victim events and probes every target's leading
+// pages — so the per-tick path is held to a zero-allocation steady state
+// (alloc-guard tests in core pin it). Three ownership rules make it hold:
+//
+//  1. Walk scratch belongs to the machine the events run on. A victim
+//     event (machine.KernelTouch) page-walks with its machine's own
+//     reusable visited buffer, never a shared one — so a driver replaying
+//     disjoint windows on N worker replicas (behavior.Driver.ReplayWindow,
+//     which is stateless by contract) touches N private scratches and
+//     stays replica-safe without locks or allocation.
+//  2. Probe scratch belongs to the (pooled) prober. A tick's per-target
+//     page sweep goes through one batched TLB probe into prober-owned
+//     measurement windows, bit-identical to the per-page probe loop it
+//     replaced.
+//  3. The fan-out allocates per scan, not per worker. Engine.Scan spawns
+//     its shard goroutines from one shared closure with no arguments (each
+//     goroutine picks its worker off a shared atomic index), so the spawn
+//     loop itself contributes nothing per worker; what remains per worker
+//     is the wrapper struct its factory builds.
+//
 // # Worker pool
 //
 // Creating a worker is the expensive part of a scan (Machine.Clone builds

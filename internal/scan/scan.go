@@ -158,49 +158,61 @@ func (e *Engine[V]) Scan(start paging.VirtAddr, n int, stride uint64) Result[V] 
 		workers[i] = e.factory(i)
 	}
 
-	var next atomic.Int64
-	var sim atomic.Uint64
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func(wk Worker[V]) {
-			defer wg.Done()
-			bw, batched := wk.(BatchWorker[V])
-			var local uint64
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					break
-				}
-				lo := c * chunk
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				wk.Start(StreamSeed(e.cfg.Seed, uint64(c)))
-				if batched {
-					// The worker owns the whole chunk: it writes straight
-					// into its disjoint window of the shared result slices.
-					bw.ProbeChunk(start, stride, lo, hi, e.skip, e.skipV,
-						res.Verdicts[lo:hi], res.Cycles[lo:hi])
-				} else {
-					for i := lo; i < hi; i++ {
-						if e.skip != nil && e.skip(i) {
-							res.Verdicts[i] = e.skipV
-							continue
-						}
-						s := wk.Probe(start + paging.VirtAddr(uint64(i)*stride))
-						res.Cycles[i] = s.Cycles
-						res.Verdicts[i] = s.Verdict
-					}
-				}
-				local += wk.Elapsed()
-			}
-			sim.Add(local)
-		}(workers[w])
+	// One shared fan-out state and ONE shard-body closure for all workers:
+	// spawning `go body()` with no arguments allocates nothing per worker
+	// (each goroutine picks its worker off the shared index), where a
+	// per-iteration closure — or a `go f(arg)` arg frame — used to cost ~3
+	// heap allocations per worker per scan. Result slices are captured by
+	// value (never reassigned), so the fan-out's only per-scan allocations
+	// are the shared-state box and the closure itself.
+	var sh struct {
+		widx, next atomic.Int64
+		sim        atomic.Uint64
+		wg         sync.WaitGroup
 	}
-	wg.Wait()
-	res.SimCycles = sim.Load()
+	verdicts, cycles := res.Verdicts, res.Cycles
+	body := func() {
+		defer sh.wg.Done()
+		wk := workers[sh.widx.Add(1)-1]
+		bw, batched := wk.(BatchWorker[V])
+		var local uint64
+		for {
+			c := int(sh.next.Add(1)) - 1
+			if c >= chunks {
+				break
+			}
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wk.Start(StreamSeed(e.cfg.Seed, uint64(c)))
+			if batched {
+				// The worker owns the whole chunk: it writes straight
+				// into its disjoint window of the shared result slices.
+				bw.ProbeChunk(start, stride, lo, hi, e.skip, e.skipV,
+					verdicts[lo:hi], cycles[lo:hi])
+			} else {
+				for i := lo; i < hi; i++ {
+					if e.skip != nil && e.skip(i) {
+						verdicts[i] = e.skipV
+						continue
+					}
+					s := wk.Probe(start + paging.VirtAddr(uint64(i)*stride))
+					cycles[i] = s.Cycles
+					verdicts[i] = s.Verdict
+				}
+			}
+			local += wk.Elapsed()
+		}
+		sh.sim.Add(local)
+	}
+	sh.wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go body()
+	}
+	sh.wg.Wait()
+	res.SimCycles = sh.sim.Load()
 
 	if e.cfg.HealSamples > 0 {
 		e.heal(&res, start, n, stride, workers[0])

@@ -1,12 +1,16 @@
 #!/bin/sh
-# bench_compare.sh [file] — diff the last two entries of BENCH_scan.json
-# (newline-delimited JSON, one object per bench.sh run) per benchmark and
-# warn when probes/s dropped by more than 10%.
+# bench_compare.sh [file] — diff the latest entry of BENCH_scan.json
+# (newline-delimited JSON, one object per bench.sh run) against the most
+# recent PREVIOUS entry recorded on the same host shape (matching num_cpu
+# AND gomaxprocs), per benchmark, and warn when probes/s dropped by more
+# than 10%.
 #
-# Interpreting a warning: check the num_cpu/gomaxprocs fields first — a
-# "regression" between an 8-core host and a 1-core PR container is just the
-# host, not the code. Exit status is 0 unless STRICT=1 is set, in which
-# case any real regression fails the run.
+# Since bench.sh records one entry per GOMAXPROCS level of its scaling
+# matrix, comparing the raw last two entries would diff a multi-core row
+# against a 1-core row and report the host, not the code. Matching on
+# num_cpu/gomaxprocs keeps the trajectory apples-to-apples. Exit status is
+# 0 unless STRICT=1 is set, in which case any real regression fails the
+# run.
 set -eu
 
 file="${1:-BENCH_scan.json}"
@@ -22,7 +26,24 @@ if [ "$entries" -lt 2 ]; then
     exit 0
 fi
 
-grep '{' "$file" | tail -n 2 | awk -v strict="${STRICT:-0}" '
+# Pull one scalar field out of a JSON object line (shell-side twin of the
+# awk field() below).
+jfield() {
+    printf '%s\n' "$1" | sed -n "s/.*\"$2\":\([^,}\"]*\).*/\1/p"
+}
+
+latest="$(grep '{' "$file" | tail -n 1)"
+want_cpu="$(jfield "$latest" num_cpu)"
+want_gmp="$(jfield "$latest" gomaxprocs)"
+
+# Most recent earlier entry with the same host shape.
+prev="$(grep '{' "$file" | sed '$d' | grep -F "\"num_cpu\":$want_cpu,\"gomaxprocs\":$want_gmp," | tail -n 1 || true)"
+if [ -z "$prev" ]; then
+    echo "bench_compare: no earlier entry matches the latest host shape (num_cpu=$want_cpu gomaxprocs=$want_gmp) — nothing comparable yet"
+    exit 0
+fi
+
+printf '%s\n%s\n' "$prev" "$latest" | awk -v strict="${STRICT:-0}" '
 # Pull one scalar field out of a JSON object string.
 function field(s, key,    re, v) {
     re = "\"" key "\":[^,}]*"
@@ -47,10 +68,11 @@ function field(s, key,    re, v) {
         if (NR == 2) names[name] = 1
     }
     cpu[NR] = field($0, "num_cpu")
+    gmp[NR] = field($0, "gomaxprocs")
     date[NR] = field($0, "date")
 }
 END {
-    printf "comparing %s (cpus=%s) -> %s (cpus=%s)\n", date[1], cpu[1], date[2], cpu[2]
+    printf "comparing %s -> %s (matched host shape: cpus=%s gomaxprocs=%s)\n", date[1], date[2], cpu[2], gmp[2]
     worst = 0
     compared = 0
     for (name in names) {
