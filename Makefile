@@ -52,7 +52,7 @@ test-race:
 	$(GO) test -race ./...
 
 bench: vet test
-	./scripts/bench.sh 'BenchmarkScan|BenchmarkUserScan|BenchmarkTermSweep|BenchmarkBehaviorSpy|BenchmarkExecMasked|BenchmarkProbeMapped|BenchmarkProbeBatch'
+	./scripts/bench.sh 'BenchmarkScan|BenchmarkUserScan|BenchmarkTermSweep|BenchmarkBehaviorSpy|BenchmarkDefenseMatrix|BenchmarkExecMasked|BenchmarkProbeMapped|BenchmarkProbeBatch'
 
 bench-all: vet test
 	./scripts/bench.sh '.'

@@ -1,10 +1,12 @@
 // Command scand is the attack-as-a-service daemon: it serves the job
 // scheduler of internal/service over HTTP, multiplexing concurrent attack
 // jobs (kernel base, KPTI, modules, Windows, §IV-F user scan, cloud
-// scenarios, and the stateful §IV-E behaviorspy / appfingerprint kinds,
-// whose per-victim sessions carry a timeline across jobs) across executor
-// goroutines that share calibrated sessions and one scan-engine worker
-// pool. A job may pin its own sweep parallelism with "scan_workers"; the
+// scenarios, the stateful §IV-E behaviorspy / appfingerprint kinds whose
+// per-victim sessions carry a timeline across jobs, and the defenseeval
+// kind evaluating a §V countermeasure — flare | fgkaslr | rerand |
+// maskedop — against its attack on a defense-configured boot) across
+// executor goroutines that share calibrated sessions and one scan-engine
+// worker pool. A job may pin its own sweep parallelism with "scan_workers"; the
 // result store is bounded (-store-max-jobs, -store-ttl) so a long-lived
 // daemon's memory stays flat while the aggregate stats keep counting.
 //
@@ -20,16 +22,19 @@
 //	POST /jobs       {"kind":"kernelbase","cpu":"12400F","seed":7}  → {"id":1}
 //	POST /jobs       {"kind":"behaviorspy","seed":7,"duration_sec":20}
 //	POST /jobs       {"kind":"appfingerprint","seed":7,"app":"fps-game","scan_workers":4}
+//	POST /jobs       {"kind":"defenseeval","defense":"flare","seed":7}
+//	POST /jobs       {"kind":"defenseeval","defense":"rerand","seed":7,"rerand_periods_sec":[0.001,0.1]}
 //	GET  /jobs/1     status + result
 //	GET  /stats      success rate, jobs/s, p50/p99 latency, reuse counters
 //	POST /drain      graceful drain (finish queued work, refuse new jobs)
 //
 // SIGINT/SIGTERM also drain before exiting. Load-generator mode hammers
-// the scheduler in-process with a mixed scenario workload (every kind,
-// both vendors, SGX, cloud, both temporal kinds) and appends a throughput
-// entry to BENCH_scan.json:
+// the scheduler in-process with a scenario workload — -mix mixed (every
+// kind: both vendors, SGX, cloud, both temporal kinds, defense evals) or
+// -mix defense (the vendor × FLARE/FGKASLR/rerand matrix) — and appends a
+// throughput entry to BENCH_scan.json:
 //
-//	scand -load [-jobs 256] [-concurrency 64] [-victims 16] [-bench-out BENCH_scan.json]
+//	scand -load [-mix mixed|defense] [-jobs 256] [-concurrency 64] [-victims 16] [-bench-out BENCH_scan.json]
 package main
 
 import (
@@ -68,6 +73,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		concurrency = fs.Int("concurrency", 64, "load: concurrent submitters")
 		victims     = fs.Int("victims", 16, "load: victim pool size (repeat-scan ratio)")
 		seed        = fs.Uint64("seed", 1, "load: base victim seed")
+		mix         = fs.String("mix", "mixed", "load: scenario rotation — mixed (every kind incl. defense evals) or defense (the vendor × defense matrix)")
 		benchOut    = fs.String("bench-out", "BENCH_scan.json", "load: benchmark trajectory file (empty = don't record)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -100,7 +106,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	if *load {
-		return runLoad(s, *jobs, *concurrency, *victims, *seed, *benchOut, stdout, stderr)
+		var specs []service.JobSpec
+		switch *mix {
+		case "mixed":
+			// nil = the generator's DefaultMix
+		case "defense":
+			specs = service.DefenseMatrix()
+		default:
+			fmt.Fprintf(stderr, "scand: unknown -mix %q (want mixed or defense)\n", *mix)
+			return 2
+		}
+		return runLoad(s, *jobs, *concurrency, *victims, *seed, *mix, specs, *benchOut, stdout, stderr)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(s)}
@@ -124,14 +140,15 @@ func run(args []string, stdout, stderr *os.File) int {
 }
 
 // runLoad drives the in-process load generator and records the result.
-func runLoad(s *service.Scheduler, jobs, concurrency, victims int, seed uint64, benchOut string, stdout, stderr *os.File) int {
-	fmt.Fprintf(stdout, "scand: load run — %d jobs, %d submitters, %d victims, mixed scenarios\n",
-		jobs, concurrency, victims)
+func runLoad(s *service.Scheduler, jobs, concurrency, victims int, seed uint64, mixName string, mix []service.JobSpec, benchOut string, stdout, stderr *os.File) int {
+	fmt.Fprintf(stdout, "scand: load run — %d jobs, %d submitters, %d victims, %s scenarios\n",
+		jobs, concurrency, victims, mixName)
 	rep := service.RunLoad(s, service.LoadConfig{
 		Jobs:        jobs,
 		Concurrency: concurrency,
 		Victims:     victims,
 		Seed:        seed,
+		Mix:         mix,
 	})
 	s.Drain()
 	rep.Stats = s.Stats()

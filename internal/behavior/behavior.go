@@ -7,6 +7,7 @@ package behavior
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/linux"
 	"repro/internal/machine"
@@ -50,20 +51,83 @@ type Interval struct{ Start, End float64 }
 // Contains reports whether t falls inside the interval.
 func (iv Interval) Contains(t float64) bool { return t >= iv.Start && t < iv.End }
 
-// Timeline is one activity's on/off schedule over an experiment.
+// Timeline is one activity's on/off schedule over an experiment. On is
+// kept sorted by start time with non-overlapping intervals (every
+// constructor guarantees this), so lookups binary-search.
+//
+// A timeline is either bounded (On is the complete schedule — nothing
+// happens outside it) or unbounded (built by UnboundedTimeline): unbounded
+// timelines extend their burst schedule lazily from a private deterministic
+// source, so the schedule reaches any horizon and is bit-identical no
+// matter when — or in what order — it was materialized.
 type Timeline struct {
 	Activity Activity
 	On       []Interval
+	gen      *timelineGen
 }
 
-// ActiveAt reports whether the activity is on at time t.
+// timelineGen is the lazy burst generator of an unbounded timeline.
+type timelineGen struct {
+	r               *rng.Source
+	meanOff, meanOn float64
+	// frontier is the start of the next (not yet generated) burst: every
+	// interval beginning before frontier exists in On, and [lastEnd,
+	// frontier) is known-off. Extension only ever appends past it —
+	// already-generated intervals never change, which is what makes lazy
+	// materialization deterministic.
+	frontier float64
+}
+
+// ActiveAt reports whether the activity is on at time t. On an unbounded
+// timeline this lazily extends the schedule through t; concurrent readers
+// (scan-engine worker replicas replaying windows) must materialize their
+// horizon first via EnsureCoverage / Driver.EnsureHorizon, after which
+// ActiveAt below that horizon is a pure read.
 func (tl *Timeline) ActiveAt(t float64) bool {
-	for _, iv := range tl.On {
-		if iv.Contains(t) {
-			return true
-		}
+	if tl.gen != nil && t >= tl.gen.frontier {
+		tl.extend(t)
 	}
-	return false
+	// First interval that ends after t; if any interval covers t it is
+	// that one.
+	i := sort.Search(len(tl.On), func(i int) bool { return tl.On[i].End > t })
+	return i < len(tl.On) && tl.On[i].Contains(t)
+}
+
+// Unbounded reports whether the timeline extends lazily (no fixed horizon).
+func (tl *Timeline) Unbounded() bool { return tl.gen != nil }
+
+// CoveredUntil returns the time up to which the schedule is materialized:
+// ActiveAt strictly below it never mutates the timeline. Bounded timelines
+// are complete, so they report +Inf.
+func (tl *Timeline) CoveredUntil() float64 {
+	if tl.gen == nil {
+		return math.Inf(1)
+	}
+	return tl.gen.frontier
+}
+
+// EnsureCoverage materializes an unbounded timeline's schedule so that
+// every query strictly below t (and t itself) is a pure read. No-op on
+// bounded timelines. Idempotent; not safe for concurrent use — call it
+// before fanning replay out across goroutines.
+func (tl *Timeline) EnsureCoverage(t float64) {
+	if tl.gen != nil && t >= tl.gen.frontier {
+		tl.extend(t)
+	}
+}
+
+// extend generates bursts until the frontier passes t. Each burst consumes
+// exactly two draws (on-length, next off-gap) in a fixed order, so the
+// resulting schedule depends only on the source's seed, never on the query
+// sequence that triggered generation.
+func (tl *Timeline) extend(t float64) {
+	g := tl.gen
+	for g.frontier <= t {
+		start := g.frontier
+		end := start + g.r.Exponential(g.meanOn)
+		tl.On = append(tl.On, Interval{Start: start, End: end})
+		g.frontier = end + g.r.Exponential(g.meanOff)
+	}
 }
 
 // RandomTimeline builds a timeline over [0, duration) with activity bursts:
@@ -83,8 +147,24 @@ func RandomTimeline(act Activity, duration float64, meanOff, meanOn float64, r *
 	return tl
 }
 
-// FixedTimeline builds a timeline from explicit windows.
+// UnboundedTimeline builds a timeline with no horizon: alternating
+// off/on periods drawn from exponential holding times, generated lazily as
+// queries (or EnsureCoverage calls) reach further into the future. The
+// source must be private to this timeline — each burst consumes draws in a
+// fixed order, so the schedule is a pure function of the source's seed and
+// identical however the timeline is materialized. Prefix property: the
+// first bursts match RandomTimeline with the same parameters and seed
+// (modulo RandomTimeline's truncation at its duration).
+func UnboundedTimeline(act Activity, meanOff, meanOn float64, src *rng.Source) *Timeline {
+	tl := &Timeline{Activity: act, gen: &timelineGen{r: src, meanOff: meanOff, meanOn: meanOn}}
+	tl.gen.frontier = src.Exponential(meanOff)
+	return tl
+}
+
+// FixedTimeline builds a timeline from explicit windows (sorted here so
+// lookups can binary-search; windows must not overlap).
 func FixedTimeline(act Activity, on ...Interval) *Timeline {
+	sort.Slice(on, func(i, j int) bool { return on[i].Start < on[j].Start })
 	return &Timeline{Activity: act, On: on}
 }
 
@@ -168,6 +248,16 @@ func (d *Driver) Rewind() { d.cur = 0 }
 func (d *Driver) AdvanceTo(t float64) {
 	d.ReplayWindow(d.k.Machine(), d.cur, t)
 	d.cur = t
+}
+
+// EnsureHorizon materializes every unbounded timeline through time t, so
+// that subsequent ReplayWindow calls below that horizon are pure reads and
+// can safely run concurrently on worker replicas. No-op for bounded
+// timelines. Call from the coordinating goroutine before fanning out.
+func (d *Driver) EnsureHorizon(t float64) {
+	for _, tl := range d.timelines {
+		tl.EnsureCoverage(t)
+	}
 }
 
 // ReplayWindow replays the events of the half-open window [t0, t1) against

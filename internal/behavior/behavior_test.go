@@ -188,6 +188,114 @@ func TestDriverReplayWindowStateless(t *testing.T) {
 	}
 }
 
+// An unbounded timeline must materialize to the same schedule however it
+// is queried: one big EnsureCoverage, many small ones, or pointwise
+// ActiveAt probes in any order all append the same intervals.
+func TestUnboundedTimelineMaterializationOrderIrrelevant(t *testing.T) {
+	const horizon = 10000.0
+	mk := func(seed uint64) *Timeline {
+		return UnboundedTimeline(BluetoothAudio(), 12, 18, rng.New(seed))
+	}
+
+	eager := mk(9)
+	eager.EnsureCoverage(horizon)
+
+	chunked := mk(9)
+	for h := 100.0; h <= horizon; h += 100 {
+		chunked.EnsureCoverage(h)
+	}
+	chunked.EnsureCoverage(horizon)
+
+	// Query back-to-front, then front-to-back, interleaved — worst case
+	// for any order dependence.
+	probed := mk(9)
+	for tm := horizon; tm >= 0; tm -= 37.5 {
+		probed.ActiveAt(tm)
+	}
+	probed.EnsureCoverage(horizon)
+
+	if !reflect.DeepEqual(eager.On, chunked.On) {
+		t.Fatal("chunked materialization built a different schedule than eager")
+	}
+	if !reflect.DeepEqual(eager.On, probed.On) {
+		t.Fatal("pointwise probing built a different schedule than eager")
+	}
+	for _, tm := range []float64{0, 1, 4095, 4096, 4097, 8191.5, horizon - 1} {
+		if eager.ActiveAt(tm) != probed.ActiveAt(tm) {
+			t.Fatalf("ActiveAt(%v) differs across materialization orders", tm)
+		}
+	}
+}
+
+// The lazy generator must agree with RandomTimeline on the shared prefix:
+// same seed and parameters produce the same bursts up to RandomTimeline's
+// horizon (modulo its final-interval clip).
+func TestUnboundedTimelinePrefixMatchesRandomTimeline(t *testing.T) {
+	const dur = 2000.0
+	bounded := RandomTimeline(MouseMovement(), dur, 12, 18, rng.New(41))
+	lazy := UnboundedTimeline(MouseMovement(), 12, 18, rng.New(41))
+	lazy.EnsureCoverage(dur)
+
+	if len(bounded.On) == 0 {
+		t.Fatal("no bursts generated")
+	}
+	for i, iv := range bounded.On {
+		if i >= len(lazy.On) {
+			t.Fatalf("lazy timeline has only %d bursts, bounded has %d", len(lazy.On), len(bounded.On))
+		}
+		got := lazy.On[i]
+		if got.Start != iv.Start {
+			t.Fatalf("burst %d starts at %v lazily, %v bounded", i, got.Start, iv.Start)
+		}
+		// RandomTimeline clips the last burst at its duration; the lazy
+		// schedule keeps the full draw.
+		if got.End != iv.End && iv.End != dur {
+			t.Fatalf("burst %d ends at %v lazily, %v bounded", i, got.End, iv.End)
+		}
+	}
+}
+
+// The horizon-bug reproducer at the timeline level: bursts must keep
+// appearing arbitrarily far past the old 4096-tick truncation point.
+func TestUnboundedTimelineActivePastOldHorizon(t *testing.T) {
+	tl := UnboundedTimeline(BluetoothAudio(), 12, 18, rng.New(7))
+	active := 0
+	for tick := 4096; tick < 4096+600; tick++ {
+		if tl.ActiveAt(float64(tick)) {
+			active++
+		}
+	}
+	// meanOn=18 vs meanOff=12 → ~60% duty cycle; anything near zero means
+	// the schedule still truncates.
+	if active < 100 {
+		t.Fatalf("only %d/600 active ticks past t=4096 — timeline still truncated", active)
+	}
+	if !tl.Unbounded() {
+		t.Fatal("Unbounded() false on a lazily extended timeline")
+	}
+	if bounded := FixedTimeline(BluetoothAudio(), Interval{0, 1}); bounded.Unbounded() {
+		t.Fatal("Unbounded() true on a fixed timeline")
+	}
+}
+
+// EnsureCoverage must guarantee pure reads below the covered horizon (the
+// contract concurrent worker replicas rely on).
+func TestEnsureCoverageMakesReadsPure(t *testing.T) {
+	tl := UnboundedTimeline(Keystrokes(), 12, 18, rng.New(3))
+	tl.EnsureCoverage(500)
+	cov := tl.CoveredUntil()
+	if cov <= 500 {
+		t.Fatalf("CoveredUntil %v after EnsureCoverage(500)", cov)
+	}
+	n := len(tl.On)
+	for tm := 0.0; tm <= 500; tm += 0.5 {
+		tl.ActiveAt(tm)
+	}
+	if len(tl.On) != n || tl.CoveredUntil() != cov {
+		t.Fatal("reads below the covered horizon mutated the timeline")
+	}
+}
+
 // The event grid must match the legacy Step loop: for grid-aligned ticks,
 // ReplayWindow(m, t, t+1) fires exactly what Step(t) fired.
 func TestDriverReplayWindowMatchesStepLoop(t *testing.T) {

@@ -166,6 +166,9 @@ func (f *AppFingerprinter) ClassifyFrom(d *behavior.Driver, t0 float64) (AppProf
 	if err != nil {
 		return AppProfile{}, err
 	}
+	// Materialize unbounded victim timelines through the window before the
+	// fan-out: worker replicas then replay events as pure reads.
+	d.EnsureHorizon(t0 + float64(f.Ticks)*f.TickSec)
 	res := runSweep(f.P, 0, f.Ticks, 1, tickChunk(f.P), -1, nil, uint64(0),
 		func(rp *Prober) scan.Worker[uint64] {
 			return &fpWorker{workerBase: workerBase{p: rp}, f: f, d: d, watch: watch, t0: t0}
@@ -186,6 +189,7 @@ func (f *AppFingerprinter) ClassifyFromSequential(d *behavior.Driver, t0 float64
 	if err != nil {
 		return AppProfile{}, err
 	}
+	d.EnsureHorizon(t0 + float64(f.Ticks)*f.TickSec)
 	masks := make([]uint64, f.Ticks)
 	sequentialTicks(f.P, f.Ticks, func(i int) {
 		masks[i] = f.tick(f.P, d, watch, t0+float64(i)*f.TickSec)

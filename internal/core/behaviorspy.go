@@ -219,6 +219,9 @@ func (s *BehaviorSpy) RunWindow(d *behavior.Driver, t0, t1 float64) ([]SpyTrace,
 	if err := s.init(); err != nil {
 		return nil, err
 	}
+	// Materialize unbounded victim timelines through the window before the
+	// fan-out: worker replicas then replay events as pure reads.
+	d.EnsureHorizon(t1)
 	n := windowTicks(t0, t1, s.TickSec)
 	res := runSweep(s.P, 0, n, 1, tickChunk(s.P), -1, nil, tickObs{},
 		func(rp *Prober) scan.Worker[tickObs] {
@@ -242,6 +245,7 @@ func (s *BehaviorSpy) RunWindowSequential(d *behavior.Driver, t0, t1 float64) ([
 	if err := s.init(); err != nil {
 		return nil, err
 	}
+	d.EnsureHorizon(t1)
 	n := windowTicks(t0, t1, s.TickSec)
 	obs := make([]tickObs, n)
 	sequentialTicks(s.P, n, func(i int) {

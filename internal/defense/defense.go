@@ -42,11 +42,20 @@ func EvaluateFLARE(preset *uarch.Preset, seed uint64) (FlareOutcome, error) {
 	if err != nil {
 		return out, err
 	}
-	out.TrueBase = k.Base
 	p, err := core.NewProber(m, core.Options{})
 	if err != nil {
 		return out, err
 	}
+	return FlareAttack(p, k), nil
+}
+
+// FlareAttack mounts the §V-A FLARE evaluation on an already-booted
+// FLARE-protected victim with a calibrated prober — the session-friendly
+// body of EvaluateFLARE. Deterministic given the prober's state (the
+// service replays it from a post-calibration checkpoint).
+func FlareAttack(p *core.Prober, k *linux.Kernel) FlareOutcome {
+	var out FlareOutcome
+	out.TrueBase = k.Base
 
 	// Page-table attack: probe all slots; FLARE makes them all mapped.
 	mappedCount := 0
@@ -75,7 +84,7 @@ func EvaluateFLARE(preset *uarch.Preset, seed uint64) (FlareOutcome, error) {
 		}
 	}
 	out.TLBBaseFound = firstHot
-	return out, nil
+	return out
 }
 
 // FGKASLROutcome records the §V-A FGKASLR evaluation.
@@ -105,6 +114,20 @@ func EvaluateFGKASLR(preset *uarch.Preset, seed uint64, target string) (FGKASLRO
 	if err != nil {
 		return out, err
 	}
+	p, err := core.NewProber(m, core.Options{})
+	if err != nil {
+		return out, err
+	}
+	return FGKASLRAttack(p, k, seed, target)
+}
+
+// FGKASLRAttack mounts the §V-A FGKASLR evaluation on an already-booted
+// FGKASLR victim with a calibrated prober — the session-friendly body of
+// EvaluateFGKASLR. seed is the victim's boot seed, used only for the
+// offset-stability comparison boot (a private throwaway machine, so the
+// session machine's state is untouched by it).
+func FGKASLRAttack(p *core.Prober, k *linux.Kernel, seed uint64, target string) (FGKASLROutcome, error) {
+	var out FGKASLROutcome
 	truePage, ok := k.FunctionPage(target)
 	if !ok {
 		return out, fmt.Errorf("defense: unknown target %q", target)
@@ -112,7 +135,7 @@ func EvaluateFGKASLR(preset *uarch.Preset, seed uint64, target string) (FGKASLRO
 	out.TruePage = truePage
 
 	// Compare against a non-FGKASLR boot to show the offset moved.
-	m2 := machine.New(preset, seed)
+	m2 := machine.New(p.M.Preset, seed)
 	k2, err := linux.Boot(m2, linux.Config{Seed: seed})
 	if err != nil {
 		return out, err
@@ -120,11 +143,6 @@ func EvaluateFGKASLR(preset *uarch.Preset, seed uint64, target string) (FGKASLRO
 	p1, _ := k.FunctionPage(target)
 	p2, _ := k2.FunctionPage(target)
 	out.OffsetStable = uint64(p1)-uint64(k.Base) == uint64(p2)-uint64(k2.Base)
-
-	p, err := core.NewProber(m, core.Options{})
-	if err != nil {
-		return out, err
-	}
 
 	// Template phase: for each candidate text page, evict, trigger the
 	// target function, probe. The page that turns hot holds the function.
@@ -168,6 +186,16 @@ func EvaluateRerandomization(preset *uarch.Preset, seed uint64) (RerandomizeOutc
 	if err != nil {
 		return out, err
 	}
+	return RerandAttack(p, k, seed)
+}
+
+// RerandAttack mounts the re-randomization evaluation on an already-booted
+// undefended victim with a calibrated prober — the session-friendly body
+// of EvaluateRerandomization. The re-randomized layout is a pure function
+// of the victim's boot seed (the shuffle boots on a throwaway machine from
+// derived seeds), so the outcome never depends on evaluation order.
+func RerandAttack(p *core.Prober, k *linux.Kernel, seed uint64) (RerandomizeOutcome, error) {
+	var out RerandomizeOutcome
 	res, err := core.KernelBase(p)
 	if err != nil {
 		return out, err
@@ -176,7 +204,7 @@ func EvaluateRerandomization(preset *uarch.Preset, seed uint64) (RerandomizeOutc
 
 	// Re-randomize: boot a fresh layout on a fresh machine (different
 	// seed), as a live re-randomizer would.
-	m2 := machine.New(preset, seed+1)
+	m2 := machine.New(p.M.Preset, seed+1)
 	k2, err := linux.Boot(m2, linux.Config{Seed: seed + 0xdead})
 	if err != nil {
 		return out, err
@@ -221,6 +249,16 @@ func RerandomizationSweep(preset *uarch.Preset, seed uint64, periodsSec []float6
 	if err != nil {
 		return nil, 0, err
 	}
+	return RerandSweep(p, k, periodsSec)
+}
+
+// RerandSweep runs the period sweep on an already-booted undefended victim
+// with a calibrated prober — the session-friendly body of
+// RerandomizationSweep. The exploitation window is computed from the
+// attack's deterministic simulated runtime (a pure function of the
+// prober's checkpoint state), never from host wall-clock, so the sweep is
+// bit-identical at any worker count or submission order.
+func RerandSweep(p *core.Prober, k *linux.Kernel, periodsSec []float64) ([]RerandSweepPoint, float64, error) {
 	res, err := core.KernelBase(p)
 	if err != nil {
 		return nil, 0, err
@@ -228,7 +266,7 @@ func RerandomizationSweep(preset *uarch.Preset, seed uint64, periodsSec []float6
 	if res.Base != k.Base {
 		return nil, 0, fmt.Errorf("defense: attack failed; sweep meaningless")
 	}
-	attackSec := res.TotalSeconds(preset)
+	attackSec := res.TotalSeconds(p.M.Preset)
 	var out []RerandSweepPoint
 	for _, period := range periodsSec {
 		// The attack starts at a uniformly random phase; in expectation

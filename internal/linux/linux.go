@@ -334,6 +334,17 @@ var kernelFunctions = []string{
 	"mutex_lock", "mutex_unlock", "down_read", "up_read", "rcu_read_unlock_special",
 }
 
+// KnownKernelFunction reports whether name is in the synthetic symbol set
+// (so callers can validate a target function before booting anything).
+func KnownKernelFunction(name string) bool {
+	for _, fn := range kernelFunctions {
+		if fn == name {
+			return true
+		}
+	}
+	return false
+}
+
 // buildSymbols assigns functions to text pages. Without FGKASLR the
 // assignment is the deterministic build order (so offsets from base are
 // constants); with FGKASLR it is shuffled per boot (§V-A).

@@ -63,6 +63,18 @@ var sharedNames = []string{
 	"sysimgblt", "cec", "rc_core",
 }
 
+// UniqueSizedModuleNames returns the names of the modules the module
+// attack can identify exactly (unique mapped size) — the population a
+// behavior spy can watch without ground-truth help. Callers use it to
+// validate watch targets before booting anything.
+func UniqueSizedModuleNames() []string {
+	names := make([]string, len(uniqueSized))
+	for i, spec := range uniqueSized {
+		names[i] = spec.Name
+	}
+	return names
+}
+
 // DefaultModuleDB returns the 125-module victim set: 19 uniquely-sized
 // modules, autofs4/x_tables pinned to the colliding 0xB000, and 104 modules
 // over the shared-size pool.

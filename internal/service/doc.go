@@ -1,11 +1,11 @@
 // Package service is the attack-as-a-service layer over the pooled scan
 // engine: it accepts attack jobs (kernel base, KPTI trampoline, module
-// enumeration, Windows region scan, §IV-F user scan, cloud scenarios, and
-// the temporal §IV-E behaviorspy / appfingerprint attacks), schedules
-// them on a bounded queue, and multiplexes them across executor goroutines
-// that share calibrated prober state — the subsystem that turns the
-// one-shot attack library into something that can serve sustained mixed
-// traffic.
+// enumeration, Windows region scan, §IV-F user scan, cloud scenarios, the
+// temporal §IV-E behaviorspy / appfingerprint attacks, and the §V
+// defenseeval countermeasure evaluations), schedules them on a bounded
+// queue, and multiplexes them across executor goroutines that share
+// calibrated prober state — the subsystem that turns the one-shot attack
+// library into something that can serve sustained mixed traffic.
 //
 // The layer cake, bottom to top:
 //
@@ -38,6 +38,24 @@
 //     (core.Calibration); later sessions for the same configuration boot
 //     the victim and skip straight past calibration via
 //     core.NewProberFromCalibration, bit-identically.
+//
+// The victim key that governs both caches is defense-aware: the boot-time
+// defense configuration (FLARE dummy mappings, FGKASLR) is part of every
+// linux-class key, because a defended boot has different mappings, symbol
+// layout and timing surface — it must never adopt an undefended boot's
+// session or cached calibration for the same CPU/seed. KindDefenseEval
+// derives the boot flags from the evaluated defense, so its flare/fgkaslr
+// jobs get isolated defended sessions while its rerand/maskedop jobs
+// deliberately multiplex onto the same undefended boot a kernel-base job
+// uses. Each defense evaluation is bit-identical to the corresponding
+// direct internal/defense.Evaluate* call at the same seed.
+//
+// Temporal sessions have no horizon: victim activity timelines are
+// unbounded and extend lazily (behavior.UnboundedTimeline), with the
+// extension deterministic regardless of when or in what order windows
+// materialize it — a session can keep serving windows past any tick count
+// and still match a direct run window for window. MaxJobTicks bounds only
+// one job's allocation, never the session's cumulative timeline position.
 //
 // Per-job knobs: JobSpec.ScanWorkers overrides the scheduler's sweep
 // parallelism for one job (validated at submission, falls back to the

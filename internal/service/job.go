@@ -39,11 +39,42 @@ const (
 	// and classifies the victim's foreground application (§IV-E extension).
 	// Sessions are stateful like behaviorspy's.
 	KindAppFingerprint Kind = "appfingerprint"
+	// KindDefenseEval evaluates a §V countermeasure (selected by Defense)
+	// against the attack that targets it: FLARE's dual page-table/TLB
+	// attack, the FGKASLR template attack, the re-randomization staleness
+	// check (optionally a period sweep), or the masked-op-restriction
+	// impact count. The victim boots with the defense enabled, so
+	// defense-eval sessions never share state — or cached calibrations —
+	// with undefended boots of the same CPU and seed.
+	KindDefenseEval Kind = "defenseeval"
 )
 
 // Kinds lists every schedulable job kind.
 func Kinds() []Kind {
-	return []Kind{KindKernelBase, KindKPTI, KindModules, KindWindows, KindUserScan, KindCloud, KindBehaviorSpy, KindAppFingerprint}
+	return []Kind{KindKernelBase, KindKPTI, KindModules, KindWindows, KindUserScan, KindCloud, KindBehaviorSpy, KindAppFingerprint, KindDefenseEval}
+}
+
+// The §V defenses a KindDefenseEval job can evaluate.
+const (
+	// DefenseFLARE evaluates FLARE dummy mappings (§V-A): the page-table
+	// attack must lose its signal while the TLB attack still recovers the
+	// base.
+	DefenseFLARE = "flare"
+	// DefenseFGKASLR evaluates function-granular KASLR (§V-A): offsets
+	// move, but the TLB template attack still locates the target function.
+	DefenseFGKASLR = "fgkaslr"
+	// DefenseRerand evaluates periodic re-randomization (§V-A): the
+	// recovered base must be stale after a shuffle; with RerandPeriodsSec
+	// set, the job additionally sweeps exploitation windows over periods.
+	DefenseRerand = "rerand"
+	// DefenseMaskedOp evaluates the §V-B masked-op-restriction mitigation's
+	// deployment impact over the Ubuntu executable population.
+	DefenseMaskedOp = "maskedop"
+)
+
+// Defenses lists every evaluable defense.
+func Defenses() []string {
+	return []string{DefenseFLARE, DefenseFGKASLR, DefenseRerand, DefenseMaskedOp}
 }
 
 // JobSpec fully determines one attack job: the kind, the victim
@@ -60,6 +91,19 @@ type JobSpec struct {
 	Seed uint64 `json:"seed"`
 	// FLARE boots the Linux victim with FLARE dummy mappings (defense).
 	FLARE bool `json:"flare,omitempty"`
+	// FGKASLR boots the Linux victim with function-granular KASLR (defense).
+	// Like FLARE, part of the victim configuration for every linux-class
+	// kind; kind defenseeval sets both flags from Defense.
+	FGKASLR bool `json:"fgkaslr,omitempty"`
+	// Defense selects the evaluated countermeasure (kind defenseeval):
+	// flare | fgkaslr | rerand | maskedop.
+	Defense string `json:"defense,omitempty"`
+	// Function is the FGKASLR template attack's target kernel function
+	// (kind defenseeval, defense fgkaslr; empty = tcp_sendmsg).
+	Function string `json:"function,omitempty"`
+	// RerandPeriodsSec sweeps re-randomization periods (kind defenseeval,
+	// defense rerand; empty = staleness evaluation only).
+	RerandPeriodsSec []float64 `json:"rerand_periods_sec,omitempty"`
 	// Trampoline is the KPTI trampoline offset (kind kpti; 0 = the Ubuntu
 	// default).
 	Trampoline uint64 `json:"trampoline,omitempty"`
@@ -107,9 +151,15 @@ const MaxJobScanWorkers = 256
 
 // MaxJobTicks bounds a temporal job's observation window in ticks: one
 // submitted job must not make an executor allocate an unbounded per-tick
-// result (the temporal analogue of MaxJobScanWorkers). At the default 1 Hz
-// it equals the session timeline horizon.
-const MaxJobTicks = 4096
+// result (the temporal analogue of MaxJobScanWorkers). It is purely a
+// per-job allocation bound — the session's cumulative timeline position is
+// unbounded, since victim timelines extend lazily without horizon (any
+// number of maximal jobs can continue one session).
+const MaxJobTicks = 1 << 16
+
+// MaxRerandSweepPeriods bounds one defense-eval job's re-randomization
+// period sweep (one result row per period).
+const MaxRerandSweepPeriods = 64
 
 // normalized fills the spec's kind defaults and validates it.
 func (s JobSpec) normalized() (JobSpec, error) {
@@ -165,6 +215,17 @@ func (s JobSpec) normalized() (JobSpec, error) {
 		if len(s.Targets) > core.MaxSpyTargets {
 			return s, fmt.Errorf("service: %d spy targets, max %d", len(s.Targets), core.MaxSpyTargets)
 		}
+		// Targets must be watchable: the spy locates them with the module
+		// attack, which only identifies uniquely-sized modules. Anything
+		// else — a typo, or a module in the shared-size pool — would
+		// previously run against a fabricated generic activity and return
+		// misleading traces; fail the spec at submission instead.
+		for _, name := range s.Targets {
+			if !watchableModule(name) {
+				return s, fmt.Errorf("service: target module %q is not uniquely identifiable (watchable: %s)",
+					name, strings.Join(linux.UniqueSizedModuleNames(), ", "))
+			}
+		}
 		if s.DurationSec == 0 {
 			s.DurationSec = 20
 		}
@@ -214,6 +275,44 @@ func (s JobSpec) normalized() (JobSpec, error) {
 		if s.TickSec < 0 {
 			return s, fmt.Errorf("service: negative tick %v", s.TickSec)
 		}
+	case KindDefenseEval:
+		if s.CPU == "" {
+			s.CPU = "12400F"
+		}
+		switch s.Defense {
+		case DefenseFLARE, DefenseFGKASLR, DefenseRerand, DefenseMaskedOp:
+		default:
+			return s, fmt.Errorf("service: defenseeval job needs defense %s, got %q",
+				strings.Join(Defenses(), "|"), s.Defense)
+		}
+		// The evaluated defense *is* the victim's boot configuration: derive
+		// the boot flags from it so the victim key, the boot and the attack
+		// can never disagree (a flare evaluation of an undefended boot would
+		// be meaningless).
+		s.FLARE = s.Defense == DefenseFLARE
+		s.FGKASLR = s.Defense == DefenseFGKASLR
+		if s.Defense == DefenseFGKASLR {
+			if s.Function == "" {
+				s.Function = "tcp_sendmsg"
+			}
+			if !linux.KnownKernelFunction(s.Function) {
+				return s, fmt.Errorf("service: unknown kernel function %q", s.Function)
+			}
+		} else if s.Function != "" {
+			return s, fmt.Errorf("service: function is only meaningful for defense fgkaslr")
+		}
+		if s.Defense == DefenseRerand {
+			if len(s.RerandPeriodsSec) > MaxRerandSweepPeriods {
+				return s, fmt.Errorf("service: %d sweep periods, max %d", len(s.RerandPeriodsSec), MaxRerandSweepPeriods)
+			}
+			for _, p := range s.RerandPeriodsSec {
+				if p <= 0 {
+					return s, fmt.Errorf("service: non-positive rerand period %v", p)
+				}
+			}
+		} else if len(s.RerandPeriodsSec) > 0 {
+			return s, fmt.Errorf("service: rerand_periods_sec is only meaningful for defense rerand")
+		}
 	default:
 		return s, fmt.Errorf("service: unknown job kind %q", s.Kind)
 	}
@@ -240,13 +339,18 @@ func (s JobSpec) cloudProvider() core.CloudProvider {
 // calibration. Jobs with equal keys can share a cached session (and the
 // cached calibration); the attack kind itself is deliberately *not* part
 // of the key where victims coincide — a kernel-base job and a modules job
-// against the same Linux boot multiplex onto one session.
+// against the same Linux boot multiplex onto one session, and a rerand
+// defense evaluation shares the undefended boot a kernel-base job uses.
+// The defense configuration (FLARE, FGKASLR) is part of every linux-class
+// key: a defended boot has different mappings, symbol layout and timing
+// surface, so it must never adopt an undefended boot's session *or* its
+// cached calibration (the calibration cache is keyed by the same string).
 func (s JobSpec) victimKey() string {
 	switch s.Kind {
-	case KindKernelBase, KindModules:
-		return fmt.Sprintf("linux|%s|seed=%d|flare=%v", s.CPU, s.Seed, s.FLARE)
+	case KindKernelBase, KindModules, KindDefenseEval:
+		return fmt.Sprintf("linux|%s|seed=%d|flare=%v|fgkaslr=%v", s.CPU, s.Seed, s.FLARE, s.FGKASLR)
 	case KindKPTI:
-		return fmt.Sprintf("linux+kpti|%s|seed=%d|flare=%v|tramp=%#x", s.CPU, s.Seed, s.FLARE, s.Trampoline)
+		return fmt.Sprintf("linux+kpti|%s|seed=%d|flare=%v|fgkaslr=%v|tramp=%#x", s.CPU, s.Seed, s.FLARE, s.FGKASLR, s.Trampoline)
 	case KindWindows:
 		return fmt.Sprintf("windows|%s|seed=%d|drivers=%d", s.CPU, s.Seed, s.Drivers)
 	case KindUserScan:
@@ -254,14 +358,25 @@ func (s JobSpec) victimKey() string {
 	case KindBehaviorSpy:
 		// Stateful: the key pins every field that shapes the victim's
 		// timeline — jobs sharing it continue one spy session.
-		return fmt.Sprintf("spy|%s|seed=%d|flare=%v|targets=%s|tick=%g|win=%g",
-			s.CPU, s.Seed, s.FLARE, strings.Join(s.Targets, ","), s.TickSec, s.DurationSec)
+		return fmt.Sprintf("spy|%s|seed=%d|flare=%v|fgkaslr=%v|targets=%s|tick=%g|win=%g",
+			s.CPU, s.Seed, s.FLARE, s.FGKASLR, strings.Join(s.Targets, ","), s.TickSec, s.DurationSec)
 	case KindAppFingerprint:
-		return fmt.Sprintf("appfp|%s|seed=%d|flare=%v|app=%s|ticks=%d|tick=%g",
-			s.CPU, s.Seed, s.FLARE, s.App, s.Ticks, s.TickSec)
+		return fmt.Sprintf("appfp|%s|seed=%d|flare=%v|fgkaslr=%v|app=%s|ticks=%d|tick=%g",
+			s.CPU, s.Seed, s.FLARE, s.FGKASLR, s.App, s.Ticks, s.TickSec)
 	default: // cloud boots inside CloudBreak; no session sharing
 		return ""
 	}
+}
+
+// watchableModule reports whether a spy target can be located by the
+// module attack (unique mapped size on the default victim).
+func watchableModule(name string) bool {
+	for _, n := range linux.UniqueSizedModuleNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // knownAppProfile reports whether name is in the standard population.
@@ -327,10 +442,40 @@ type Result struct {
 	// App is the classified application (appfingerprint; empty when no
 	// profile matched).
 	App string `json:"app,omitempty"`
+	// Defense names the evaluated countermeasure (defenseeval).
+	Defense string `json:"defense,omitempty"`
+	// Bypassed reports whether the attack defeated the defense
+	// (defenseeval, defenses flare/fgkaslr — the paper's expected outcome
+	// is a bypass; rerand reports the inverse via StaleHit).
+	Bypassed bool `json:"bypassed,omitempty"`
+	// PageSignal reports whether the page-table attack could still tell
+	// kernel slots from FLARE dummy slots (defenseeval/flare; must be
+	// false for the defense to do its job).
+	PageSignal bool `json:"page_signal,omitempty"`
+	// OffsetStable reports whether the target function kept its
+	// build-constant offset (defenseeval/fgkaslr; must be false).
+	OffsetStable bool `json:"offset_stable,omitempty"`
+	// StaleHit reports whether the recovered base survived the
+	// re-randomization shuffle (defenseeval/rerand; must be false).
+	StaleHit bool `json:"stale_hit,omitempty"`
+	// RerandSweep holds the exploitation-window sweep rows
+	// (defenseeval/rerand with rerand_periods_sec).
+	RerandSweep []RerandPoint `json:"rerand_sweep,omitempty"`
+	// AffectedExecutables / TotalExecutables are the masked-op-restriction
+	// deployment impact counts (defenseeval/maskedop).
+	AffectedExecutables int `json:"affected_executables,omitempty"`
+	TotalExecutables    int `json:"total_executables,omitempty"`
 	// ProbeSimSec and TotalSimSec are the simulated attacker runtimes in
 	// seconds (the Table I probing/total split).
 	ProbeSimSec float64 `json:"probe_sim_sec"`
 	TotalSimSec float64 `json:"total_sim_sec"`
+}
+
+// RerandPoint is one period row of a re-randomization sweep result.
+type RerandPoint struct {
+	PeriodSec   float64 `json:"period_sec"`
+	WindowSec   float64 `json:"window_sec"`
+	Exploitable bool    `json:"exploitable"`
 }
 
 // Job is one scheduled attack: spec, lifecycle and result. Mutable fields

@@ -28,7 +28,39 @@ func DefaultMix() []JobSpec {
 		// one window per job (repeat seeds continue the same timeline).
 		{Kind: KindBehaviorSpy, CPU: "1065G7", DurationSec: 10},
 		{Kind: KindAppFingerprint, CPU: "1065G7", App: "fps-game"},
+		// Defense evaluations: countermeasure scenarios as first-class jobs
+		// (the rerand entry shares its undefended boot with kernelbase jobs
+		// of the same CPU/seed; flare and fgkaslr boot defended victims
+		// with their own sessions and calibrations).
+		{Kind: KindDefenseEval, CPU: "12400F", Defense: DefenseFLARE},
+		{Kind: KindDefenseEval, CPU: "12400F", Defense: DefenseFGKASLR},
+		{Kind: KindDefenseEval, CPU: "1065G7", Defense: DefenseRerand, RerandPeriodsSec: []float64{0.0001, 0.01, 1}},
 	}
+}
+
+// DefenseMatrix is the vendor × defense scenario fan-out: every §V
+// countermeasure evaluated on every preset whose probe semantics support
+// the evaluation's attacks. FLARE and FGKASLR rest on the Intel TLB-probe
+// path (P4); AMD parts take the re-randomization row, whose base recovery
+// uses the P3 term-level sweep. Seeds are assigned per submission, like
+// DefaultMix.
+func DefenseMatrix() []JobSpec {
+	var specs []JobSpec
+	for _, cpu := range []string{"12400F", "1065G7", "9900"} {
+		specs = append(specs,
+			JobSpec{Kind: KindDefenseEval, CPU: cpu, Defense: DefenseFLARE},
+			JobSpec{Kind: KindDefenseEval, CPU: cpu, Defense: DefenseFGKASLR},
+			JobSpec{Kind: KindDefenseEval, CPU: cpu, Defense: DefenseRerand},
+		)
+	}
+	specs = append(specs,
+		JobSpec{Kind: KindDefenseEval, CPU: "5600X", Defense: DefenseRerand,
+			RerandPeriodsSec: []float64{0.0001, 0.001, 0.01, 0.1, 1}},
+		JobSpec{Kind: KindDefenseEval, CPU: "12400F", Defense: DefenseRerand,
+			RerandPeriodsSec: []float64{0.0001, 0.001, 0.01, 0.1, 1}},
+		JobSpec{Kind: KindDefenseEval, Defense: DefenseMaskedOp},
+	)
+	return specs
 }
 
 // LoadConfig tunes a load-generator run.

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 
@@ -151,11 +152,12 @@ func buildSession(spec JobSpec, cal core.Calibration, haveCal bool) (*session, e
 	m := machine.New(preset, spec.Seed)
 	v := victim{m: m}
 	switch spec.Kind {
-	case KindKernelBase, KindModules, KindKPTI, KindBehaviorSpy, KindAppFingerprint:
+	case KindKernelBase, KindModules, KindKPTI, KindBehaviorSpy, KindAppFingerprint, KindDefenseEval:
 		k, err := linux.Boot(m, linux.Config{
 			Seed:             spec.Seed,
 			KPTI:             spec.Kind == KindKPTI,
 			FLARE:            spec.FLARE,
+			FGKASLR:          spec.FGKASLR,
 			TrampolineOffset: spec.Trampoline,
 		})
 		if err != nil {
@@ -216,14 +218,11 @@ func buildSession(spec JobSpec, cal core.Calibration, haveCal bool) (*session, e
 	return s, nil
 }
 
-// spyTimelineHorizon is how far into the victim's future the temporal
-// sessions' activity timelines extend, in seconds. Windows past the
-// horizon observe an idle victim (every activity off), so a very
-// long-lived session degrades gracefully instead of failing.
-const spyTimelineHorizon = 4096.0
-
 // activityFor maps a watched module to the §IV-E activity that exercises
-// it, with a generic 30 Hz activity for modules outside the paper's set.
+// it, with a generic 30 Hz activity for the other watchable modules
+// (Validate rejects any target outside the uniquely-identifiable set
+// before a job reaches this point, so the default case never fabricates
+// activity for an unknown name).
 func activityFor(module string) behavior.Activity {
 	switch module {
 	case "bluetooth":
@@ -235,6 +234,24 @@ func activityFor(module string) behavior.Activity {
 	default:
 		return behavior.Activity{Name: module, Module: module, PagesTouched: 6, EventHz: 30}
 	}
+}
+
+// spyTimelines derives the spy victim's activity timelines from the spec:
+// one unbounded bursty timeline per watched module, each drawing from its
+// own source split off a spec-seeded parent. Per-timeline sources matter:
+// the timelines extend lazily, so draws from one shared source would
+// depend on which timeline extended first — with a split source each
+// module's whole future is a pure function of (seed, target order), no
+// matter when or in what order windows materialize it. Both the session
+// builder and the parity suite's direct runs construct timelines here, so
+// the ground truth cannot drift between them.
+func spyTimelines(spec JobSpec) []*behavior.Timeline {
+	r := rng.New(spec.Seed ^ 0xbe4a71e5)
+	tls := make([]*behavior.Timeline, 0, len(spec.Targets))
+	for _, name := range spec.Targets {
+		tls = append(tls, behavior.UnboundedTimeline(activityFor(name), 12, 18, r.Split()))
+	}
+	return tls
 }
 
 // initTemporal prepares a stateful temporal session: the watched modules
@@ -250,13 +267,10 @@ func (s *session) initTemporal(spec JobSpec) error {
 		if err != nil {
 			return err
 		}
-		// The victim's day: one bursty timeline per watched module, a pure
-		// function of the victim seed.
-		r := rng.New(spec.Seed ^ 0xbe4a71e5)
-		var tls []*behavior.Timeline
-		for _, name := range spec.Targets {
-			tls = append(tls, behavior.RandomTimeline(activityFor(name), spyTimelineHorizon, 12, 18, r))
-		}
+		// The victim's day: one unbounded bursty timeline per watched
+		// module, a pure function of the victim seed — windows at any
+		// session depth observe real activity, never a truncated horizon.
+		tls := spyTimelines(spec)
 		drv, err := behavior.NewDriver(s.kernel, tls...)
 		if err != nil {
 			return err
@@ -285,7 +299,8 @@ func (s *session) initTemporal(spec JobSpec) error {
 				watch[name] = targets[0]
 			}
 		}
-		drv, err := behavior.NewDriver(s.kernel, core.TimelinesFor(truthProf, spyTimelineHorizon)...)
+		// The app's modules stay active for the whole (unbounded) session.
+		drv, err := behavior.NewDriver(s.kernel, core.TimelinesFor(truthProf, math.Inf(1))...)
 		if err != nil {
 			return err
 		}

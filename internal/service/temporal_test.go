@@ -9,7 +9,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/linux"
 	"repro/internal/machine"
-	"repro/internal/rng"
 	"repro/internal/uarch"
 )
 
@@ -26,7 +25,7 @@ func directSpyResults(t *testing.T, spec JobSpec, windows int, workers int) []*R
 	}
 	preset := uarch.ByName(spec.CPU)
 	m := machine.New(preset, spec.Seed)
-	k, err := linux.Boot(m, linux.Config{Seed: spec.Seed, FLARE: spec.FLARE})
+	k, err := linux.Boot(m, linux.Config{Seed: spec.Seed, FLARE: spec.FLARE, FGKASLR: spec.FGKASLR})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,11 +37,7 @@ func directSpyResults(t *testing.T, spec JobSpec, windows int, workers int) []*R
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := rng.New(spec.Seed ^ 0xbe4a71e5)
-	var tls []*behavior.Timeline
-	for _, name := range spec.Targets {
-		tls = append(tls, behavior.RandomTimeline(activityFor(name), spyTimelineHorizon, 12, 18, r))
-	}
+	tls := spyTimelines(spec)
 	drv, err := behavior.NewDriver(k, tls...)
 	if err != nil {
 		t.Fatal(err)
