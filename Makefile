@@ -6,12 +6,18 @@
 #                    replica-state leaks between pooled/concurrent scans
 #                    and scheduler races in the service layer)
 #   make ci        - what CI runs: vet + tier-1 + the race-parity suite +
-#                    the GOMAXPROCS=2 tier (ci-smp)
+#                    the GOMAXPROCS=2 tier (ci-smp) + the chaos tier
 #   make ci-smp    - re-run the build and the temporal/engine suites with
 #                    GOMAXPROCS=2 (temporal suite under -race): single-core
 #                    CI containers otherwise never execute the sharded
 #                    fan-out with real goroutine preemption, which is where
 #                    merge races and replica-state leaks would bite
+#   make ci-chaos  - the seeded fault-injection matrix under -race with
+#                    GOMAXPROCS=2: sustained faults across every job kind
+#                    must leave every job classified, identical seeds must
+#                    produce identical retry/quarantine traces, drains must
+#                    win races against stalls and backoffs, and nothing may
+#                    leak a goroutine
 #   make bench     - vet + tier-1 + race + the scan-engine benchmarks;
 #                    appends the parsed results to BENCH_scan.json so the
 #                    perf trajectory is tracked across PRs
@@ -29,17 +35,27 @@
 
 GO ?= go
 
-.PHONY: all vet test test-race ci ci-smp bench bench-all bench-compare load load-smoke
+.PHONY: all vet test test-race ci ci-smp ci-chaos bench bench-all bench-compare load load-smoke
 
 all: vet test
 
-ci: vet test test-race ci-smp load-smoke bench-compare
+ci: vet test test-race ci-smp ci-chaos load-smoke bench-compare
 
 # -count=1: the test cache does not key on GOMAXPROCS, so without it this
 # tier would silently reuse the single-P results.
 ci-smp:
 	GOMAXPROCS=2 $(GO) test -count=1 ./internal/scan ./internal/core ./internal/service
 	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Temporal|BehaviorSpy|Fingerprint|Replay|Scan' ./internal/core ./internal/behavior ./internal/service
+
+# The robustness gate: the fault package's schedule-determinism suite plus
+# the service chaos matrix (sustained seeded faults over the full mix,
+# trace determinism serialized and concurrent, drain-vs-fault races,
+# panic/deadline isolation, quarantine, shed/long-poll HTTP paths), all
+# under -race with two Ps so watchdogs, orphaned bodies and executors
+# genuinely preempt each other.
+ci-chaos:
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/fault
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Chaos|Fault|Panic|Deadline|Retry|Drain|Quarantine|WaitCtx|Shed|Wait' ./internal/service
 
 vet:
 	$(GO) vet ./...

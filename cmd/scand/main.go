@@ -10,10 +10,22 @@
 // result store is bounded (-store-max-jobs, -store-ttl) so a long-lived
 // daemon's memory stays flat while the aggregate stats keep counting.
 //
+// The scheduler self-heals: transient failures (injected faults, watchdog
+// deadline overruns, panics, corrupt sessions) retry with capped
+// exponential backoff up to -max-attempts, a per-attempt watchdog fails
+// jobs that overrun -job-deadline, panicking jobs are isolated and their
+// sessions quarantined (a fresh boot rebuilds them bit-identically via the
+// calibration cache), and -shed-watermark enables admission control (429 +
+// Retry-After before the queue fills). -fault-seed/-fault-rate drive a
+// deterministic chaos run: the whole fault schedule is a pure function of
+// the seed.
+//
 // Daemon mode:
 //
 //	scand [-addr :8440] [-executors N] [-scan-workers N] [-queue N] [-fresh]
 //	      [-store-max-jobs N] [-store-ttl D] [-pprof localhost:6060]
+//	      [-max-attempts N] [-job-deadline D] [-shed-watermark N]
+//	      [-fault-seed N -fault-rate P]
 //
 // -pprof serves net/http/pprof on a side listener (works in both daemon and
 // load mode), so CPU/heap profiles of a live daemon never share a port with
@@ -68,6 +80,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		fresh       = fs.Bool("fresh", false, "disable the shared scan pool (fresh replicas per sweep)")
 		storeMax    = fs.Int("store-max-jobs", 0, "finished jobs retained in the result store (0 = default bound, negative = unbounded)")
 		storeTTL    = fs.Duration("store-ttl", 0, "evict finished jobs older than this (0 = no TTL)")
+		maxAttempts = fs.Int("max-attempts", 0, "attempts per job before a transient failure is final (0 = 3, 1 = no retries)")
+		jobDeadline = fs.Duration("job-deadline", 0, "per-attempt watchdog deadline (0 = 2m default, negative = disabled)")
+		shedMark    = fs.Int("shed-watermark", 0, "shed submissions when the queue holds this many jobs (0 = off)")
+		faultSeed   = fs.Uint64("fault-seed", 0, "deterministic fault-injection seed (chaos runs)")
+		faultRate   = fs.Float64("fault-rate", 0, "uniform per-site fault probability in [0,1] (0 = injection off)")
 		load        = fs.Bool("load", false, "run the load generator instead of the daemon")
 		jobs        = fs.Int("jobs", 256, "load: total jobs")
 		concurrency = fs.Int("concurrency", 64, "load: concurrent submitters")
@@ -84,13 +101,20 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	cfg := service.Config{
-		Executors:    *executors,
-		QueueDepth:   *queue,
-		ScanWorkers:  *scanWorkers,
-		FreshWorkers: *fresh,
-		Store:        service.StoreConfig{MaxJobs: *storeMax, TTL: *storeTTL},
+		Executors:     *executors,
+		QueueDepth:    *queue,
+		ScanWorkers:   *scanWorkers,
+		FreshWorkers:  *fresh,
+		Store:         service.StoreConfig{MaxJobs: *storeMax, TTL: *storeTTL},
+		MaxAttempts:   *maxAttempts,
+		JobDeadline:   *jobDeadline,
+		ShedWatermark: *shedMark,
+		Fault:         service.FaultConfig(*faultSeed, *faultRate),
 	}
 	s := service.New(cfg)
+	if *faultRate > 0 {
+		fmt.Fprintf(stdout, "scand: CHAOS — injecting faults at rate %g per site, seed %d (deterministic)\n", *faultRate, *faultSeed)
+	}
 
 	if *pprofAddr != "" {
 		// The blank net/http/pprof import registers its handlers on the
@@ -175,4 +199,8 @@ func printStats(out *os.File, st service.Stats) {
 		st.JobsPerSec, st.P50Ms, st.P99Ms, st.SimAttackerSec)
 	fmt.Fprintf(out, "reuse: %d sessions, %d calibrations skipped, %d pooled scan replicas\n",
 		st.Sessions, st.CalibrationsReused, st.PoolReplicas)
+	if st.Retries+st.Shed+st.Quarantined > 0 || st.FaultsInjected > 0 {
+		fmt.Fprintf(out, "healing: %d retries, %d shed, %d sessions quarantined, %d faults injected\n",
+			st.Retries, st.Shed, st.Quarantined, st.FaultsInjected)
+	}
 }

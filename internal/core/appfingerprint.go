@@ -162,6 +162,9 @@ func (f *AppFingerprinter) Classify(d *behavior.Driver) (AppProfile, error) {
 // Windows compose like the behavior spy's: consecutive calls continue the
 // victim's timeline.
 func (f *AppFingerprinter) ClassifyFrom(d *behavior.Driver, t0 float64) (AppProfile, error) {
+	if err := f.P.M.Fire("probe"); err != nil {
+		return AppProfile{}, err
+	}
 	watch, err := f.init()
 	if err != nil {
 		return AppProfile{}, err

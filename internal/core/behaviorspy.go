@@ -216,6 +216,9 @@ func (s *BehaviorSpy) Run(d *behavior.Driver, duration float64) ([]SpyTrace, err
 // victim's timeline, which is what lets a service session carry spy state
 // across jobs (checkpoint after each window, restore before the next).
 func (s *BehaviorSpy) RunWindow(d *behavior.Driver, t0, t1 float64) ([]SpyTrace, error) {
+	if err := s.P.M.Fire("probe"); err != nil {
+		return nil, err
+	}
 	if err := s.init(); err != nil {
 		return nil, err
 	}

@@ -49,8 +49,11 @@ func (r KernelBaseResult) TotalSeconds(p *uarch.Preset) float64 {
 // back to the walk-termination-level attack (P3) against the kernel's five
 // 4 KiB-structured pages, whose offsets from the base are build constants.
 func KernelBase(p *Prober) (KernelBaseResult, error) {
-	start := p.M.RDTSC()
 	var res KernelBaseResult
+	if err := p.M.Fire("probe"); err != nil {
+		return res, err
+	}
+	start := p.M.RDTSC()
 	if p.M.Preset.Vendor == uarch.AMD {
 		r, err := kernelBaseAMD(p)
 		if err != nil {

@@ -27,8 +27,11 @@ type KPTIResult struct {
 // trampolineOffset is attacker knowledge for the victim kernel build
 // (0xc00000 on Ubuntu 20.04, 0xe00000 on the EC2 AWS kernel).
 func KPTIBreak(p *Prober, trampolineOffset uint64) (KPTIResult, error) {
-	start := p.M.RDTSC()
 	var res KPTIResult
+	if err := p.M.Fire("probe"); err != nil {
+		return res, err
+	}
+	start := p.M.RDTSC()
 	probeStart := p.M.RDTSC()
 	for slot := 0; slot < linux.TextSlots; slot++ {
 		va := linux.TextRegionBase + paging.VirtAddr(uint64(slot)<<21)

@@ -153,6 +153,9 @@ func NewProber(m *machine.Machine, opt Options) (*Prober, error) {
 // masked-load latency on a kernel-mapped page. Sampling our *own* pages
 // therefore yields the fast-class mean without touching kernel memory.
 func (p *Prober) Calibrate() error {
+	if err := p.M.Fire("calibrate"); err != nil {
+		return fmt.Errorf("core: calibration: %w", err)
+	}
 	n := p.Opt.CalibrationPages
 	length := uint64(n) * paging.Page4K
 	if err := p.M.MapUser(p.scratchVA, length, paging.Writable); err != nil {

@@ -24,8 +24,11 @@ type WindowsResult struct {
 // five consecutive 2 MiB pages). Driver images produce other runs; the
 // run-length signature disambiguates.
 func WindowsKernel(p *Prober, runLen int) (WindowsResult, error) {
-	start := p.M.RDTSC()
 	var res WindowsResult
+	if err := p.M.Fire("probe"); err != nil {
+		return res, err
+	}
+	start := p.M.RDTSC()
 	probeStart := p.M.RDTSC()
 	mapped, _ := p.ScanMapped(winkernel.RegionBase, int(winkernel.Slots), paging.Page2M)
 	res.ProbeCycles = p.M.RDTSC() - probeStart

@@ -1,0 +1,181 @@
+package fault
+
+import "testing"
+
+// TestScheduleDeterministic: the entire fault schedule is a pure function
+// of (seed, site, key, attempt, draw index) — two injectors from the same
+// config agree on every decision.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Rates: Uniform(0.3)}
+	a, b := New(cfg), New(cfg)
+	for _, key := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		for attempt := 1; attempt <= 3; attempt++ {
+			pa, pb := a.Plan(key, attempt), b.Plan(key, attempt)
+			for _, s := range Sites() {
+				for draw := 0; draw < 8; draw++ {
+					fa, fb := pa.Fire(s), pb.Fire(s)
+					if (fa == nil) != (fb == nil) {
+						t.Fatalf("site %v key %#x attempt %d draw %d: injectors disagree", s, key, attempt, draw)
+					}
+					if fa != nil && fa.Error() != fb.Error() {
+						t.Fatalf("fault messages differ: %q vs %q", fa, fb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanOrderIndependence: what one plan draws never shifts another
+// plan's stream — the schedule is immune to goroutine interleaving.
+func TestPlanOrderIndependence(t *testing.T) {
+	cfg := Config{Seed: 7, Rates: Uniform(0.5)}
+
+	record := func(in *Injector, key uint64) []bool {
+		p := in.Plan(key, 1)
+		out := make([]bool, 0, 16)
+		for _, s := range Sites() {
+			for d := 0; d < 2; d++ {
+				out = append(out, p.Fire(s) != nil)
+			}
+		}
+		return out
+	}
+
+	// Reference: key 5 drawn on a fresh injector.
+	want := record(New(cfg), 5)
+	// Same key drawn after heavy unrelated traffic on other keys.
+	in := New(cfg)
+	for k := uint64(100); k < 150; k++ {
+		record(in, k)
+	}
+	got := record(in, 5)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d for key 5 changed after unrelated plans: got %v want %v", i, got, want)
+		}
+	}
+}
+
+// TestSiteIndependence: re-rating one site leaves every other site's
+// decisions untouched (per-site seed splits).
+func TestSiteIndependence(t *testing.T) {
+	base := New(Config{Seed: 9, Rates: Uniform(0.4)})
+	probeOff := New(Config{Seed: 9, Rates: Rates{Boot: 0.4, Calibrate: 0.4, Restore: 0.4, Stall: 0.4, Panic: 0.4}})
+	for key := uint64(0); key < 64; key++ {
+		pa, pb := base.Plan(key, 1), probeOff.Plan(key, 1)
+		for _, s := range Sites() {
+			if s == Probe {
+				if pb.Fire(s) != nil {
+					t.Fatalf("zero-rated site fired")
+				}
+				pa.Fire(s)
+				continue
+			}
+			if (pa.Fire(s) == nil) != (pb.Fire(s) == nil) {
+				t.Fatalf("site %v decision for key %d changed when probe was re-rated", s, key)
+			}
+		}
+	}
+}
+
+// TestAttemptStreamsFresh: each attempt draws an independent stream, so at
+// rate < 1 a retried consumer eventually passes.
+func TestAttemptStreamsFresh(t *testing.T) {
+	in := New(Config{Seed: 3, Rates: Rates{Boot: 0.5}})
+	var fired, passed int
+	for key := uint64(0); key < 32; key++ {
+		for attempt := 1; attempt <= 4; attempt++ {
+			if in.Plan(key, attempt).Fire(Boot) != nil {
+				fired++
+			} else {
+				passed++
+			}
+		}
+	}
+	if fired == 0 || passed == 0 {
+		t.Fatalf("rate 0.5 over 128 draws: fired=%d passed=%d — streams are not varying", fired, passed)
+	}
+	if got := in.Fired(Boot); got != uint64(fired) {
+		t.Fatalf("Fired(Boot)=%d, counted %d", got, fired)
+	}
+	if got := in.TotalFired(); got != uint64(fired) {
+		t.Fatalf("TotalFired()=%d, counted %d", got, fired)
+	}
+}
+
+// TestDisabledInjector: a zero config yields a nil injector, and every
+// operation on nil injectors and plans is a safe no-op.
+func TestDisabledInjector(t *testing.T) {
+	if in := New(Config{Seed: 99}); in != nil {
+		t.Fatalf("zero-rate config built a live injector")
+	}
+	var in *Injector
+	p := in.Plan(1, 1)
+	if p != nil {
+		t.Fatalf("nil injector returned non-nil plan")
+	}
+	for _, s := range Sites() {
+		if p.Fire(s) != nil {
+			t.Fatalf("nil plan fired")
+		}
+	}
+	if in.Fired(Boot) != 0 || in.TotalFired() != 0 {
+		t.Fatalf("nil injector reports fired faults")
+	}
+}
+
+// TestRateExtremes: rate 1 always fires, rate 0 never does, out-of-range
+// rates clamp instead of misbehaving.
+func TestRateExtremes(t *testing.T) {
+	always := New(Config{Seed: 1, Rates: Rates{Panic: 1, Stall: 5}}) // 5 clamps to 1
+	never := New(Config{Seed: 1, Rates: Rates{Panic: 1, Boot: -3}})  // -3 clamps to 0
+	for key := uint64(0); key < 16; key++ {
+		p := always.Plan(key, 1)
+		if p.Fire(Panic) == nil || p.Fire(Stall) == nil {
+			t.Fatalf("rate-1 site did not fire")
+		}
+		if never.Plan(key, 1).Fire(Boot) != nil {
+			t.Fatalf("clamped-to-0 site fired")
+		}
+	}
+}
+
+// TestUniformAndConfigEnabled covers the config helpers.
+func TestUniformAndConfigEnabled(t *testing.T) {
+	if (Config{Seed: 5}).Enabled() {
+		t.Fatalf("zero rates enabled")
+	}
+	if !(Config{Rates: Uniform(0.01)}).Enabled() {
+		t.Fatalf("uniform rates not enabled")
+	}
+	u := Uniform(0.25)
+	for _, s := range Sites() {
+		if u.of(s) != 0.25 {
+			t.Fatalf("Uniform did not set site %v", s)
+		}
+	}
+}
+
+// TestSiteNames: stable names, including the out-of-range fallback.
+func TestSiteNames(t *testing.T) {
+	want := []string{"boot", "calibrate", "restore", "probe", "stall", "panic"}
+	for i, s := range Sites() {
+		if s.String() != want[i] {
+			t.Fatalf("site %d named %q, want %q", i, s, want[i])
+		}
+	}
+	if Site(200).String() != "site(200)" {
+		t.Fatalf("out-of-range site name: %q", Site(200))
+	}
+}
+
+// TestFaultErrorStable: the injected error message is a pure function of
+// the fault identity (the chaos traces compare these strings).
+func TestFaultErrorStable(t *testing.T) {
+	f := &Fault{Site: Restore, Key: 0xabc, Attempt: 2}
+	const want = "fault: injected restore fault (key 0xabc, attempt 2)"
+	if f.Error() != want {
+		t.Fatalf("fault message %q, want %q", f, want)
+	}
+}

@@ -49,6 +49,16 @@ type Machine struct {
 	// InEnclave applies the SGX per-probe overhead when true.
 	InEnclave bool
 
+	// FaultHook, when non-nil, is the machine's fault-injection tap: it is
+	// consulted at designated failure sites (Fire) with a stable operation
+	// name — "boot", "calibrate", "restore", "probe" — and a non-nil return
+	// aborts that operation with the returned error. The service layer
+	// installs a per-job-attempt hook backed by a seeded fault.Plan and
+	// clears it afterwards; Clone and Rebind never propagate the hook, so
+	// pooled worker replicas (which run on engine goroutines) stay
+	// hook-free and the sharded hot path pays nothing but this nil field.
+	FaultHook func(op string) error
+
 	tsc  uint64
 	seed uint64
 	// noise is the measurement-noise stream Measure draws from. ownNoise is
@@ -315,6 +325,9 @@ func (m *Machine) Snapshot() Snapshot {
 // one class of state a snapshot does not carry; probe-only attacks never
 // trip it.
 func (m *Machine) Restore(s Snapshot) error {
+	if err := m.Fire("restore"); err != nil {
+		return err
+	}
 	if kv := m.KernelAS.Version(); kv != s.kernelVer {
 		return fmt.Errorf("machine: kernel address space mutated since snapshot (version %d, snapshot %d)", kv, s.kernelVer)
 	}
@@ -345,6 +358,17 @@ func (m *Machine) Adopt(s Snapshot) {
 		fs := &s.backing[i]
 		*m.frameData(fs.pfn) = fs.data
 	}
+}
+
+// Fire consults the fault-injection hook for one named operation and
+// returns the injected error, if any. With no hook installed — every
+// machine outside a fault-injected service run, and every cloned or
+// rebound worker replica — it is a nil test and nothing more.
+func (m *Machine) Fire(op string) error {
+	if m.FaultHook == nil {
+		return nil
+	}
+	return m.FaultHook(op)
 }
 
 // ResetTranslationState empties the TLB, the paging-structure caches and

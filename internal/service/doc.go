@@ -62,6 +62,49 @@
 // scheduler default; results are bit-identical at every setting, so the
 // knob only trades job latency against executor throughput).
 //
+// # Failure semantics
+//
+// The scheduler self-heals, and its failure contract is explicit:
+//
+//   - Classification. Every failed job carries exactly one ErrorClass.
+//     Transient failures (injected faults, ErrJobDeadline, ErrPanicked,
+//     ErrSessionCorrupt, overload/queue rejections) may heal on retry;
+//     everything else is permanent — in this deterministic simulator a
+//     genuine attack error reproduces bit-identically on retry, so the
+//     scheduler fails it on first sight instead of tripling its latency.
+//   - Retries. Transient attempts rerun up to Config.MaxAttempts with
+//     exponential backoff (Config.RetryBackoff doubling per attempt,
+//     capped at MaxRetryBackoff). Job.Attempts and Result.Retries record
+//     the accounting — only when retries actually happened, so zero-fault
+//     output stays bit-identical to the parity references. A drain aborts
+//     a pending backoff immediately and fails the job with its last error.
+//   - Deadlines. A per-attempt watchdog fails any attempt that overruns
+//     Config.JobDeadline with ErrJobDeadline rather than letting it hold
+//     an executor. The overrunning body is abandoned but never leaked: the
+//     watchdog's stop signal unblocks injected stalls, and the orphaned
+//     body's cleanup quarantines its session on the way out.
+//   - Panic isolation. An attempt body that panics is recovered in its own
+//     goroutine, surfaced as ErrPanicked (transient), and its session is
+//     quarantined — one poisoned job can never take an executor down.
+//   - Quarantine. A condemned session (panic, corrupt restore, watchdog
+//     abandonment) is dropped at release and never re-adopted. The cached
+//     calibration for its victim key is untouched — it came from a healthy
+//     build — so the replacement session boots bit-identically.
+//   - Admission control. Config.ShedWatermark (off by default) sheds
+//     submissions with ErrOverloaded while the queue still has headroom;
+//     HTTP maps it, like ErrQueueFull, to 429 + Retry-After.
+//
+// Fault injection (internal/fault) drives all of this deterministically:
+// the whole fault schedule is a pure function of the injector seed — per
+// site, per job identity (JobSpec.faultKey), per attempt — so identical
+// seeds yield identical retry/quarantine traces regardless of executor
+// interleaving. The one documented cache-dependence: boot and calibrate
+// faults fire only on session *builds*, and whether a submission builds or
+// adopts depends on execution order — full-trace identity for those two
+// sites holds under serialized execution (the concurrent chaos tests zero
+// them; `make ci-chaos` runs the whole matrix under -race). A disabled
+// injector is a nil pointer: the production hot path pays one nil test.
+//
 // The result store streams completed jobs to subscribers and aggregates
 // the service-level metrics (success rate, jobs/s, p50/p99 host latency,
 // total simulated attacker time). Retention is bounded (StoreConfig:

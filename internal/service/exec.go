@@ -6,23 +6,49 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/defense"
+	"repro/internal/fault"
 	"repro/internal/userspace"
 	"repro/internal/winkernel"
 )
+
+// executeAttempt runs one fault-scoped attempt: the attempt's machine hook
+// is installed on the session machine for the duration (restore and probe
+// draws fire through it) and cleared before the session goes back to the
+// cache, so parked sessions are always hook-free. Cloud jobs boot inside
+// core.CloudBreak on a machine the service never sees, so their boot and
+// probe draws fire from the plan directly, here.
+func executeAttempt(sess *session, spec JobSpec, opt core.Options, env *attemptEnv) (*Result, error) {
+	if sess != nil {
+		if hook := env.hook(); hook != nil {
+			sess.m.FaultHook = hook
+			defer func() { sess.m.FaultHook = nil }()
+		}
+	} else if spec.Kind == KindCloud {
+		if f := env.fire(fault.Boot); f != nil {
+			return nil, f
+		}
+		if f := env.fire(fault.Probe); f != nil {
+			return nil, f
+		}
+	}
+	return execute(sess, spec, opt)
+}
 
 // execute runs one job on its session (nil for cloud jobs, which boot
 // their victim inside core.CloudBreak) with the scheduler's scan options.
 // Before the attack the session is rewound to its post-calibration
 // checkpoint, so the job observes the exact machine state a fresh
 // boot-and-calibrate would produce regardless of what ran on the session
-// before — the determinism contract the parity suite enforces.
+// before — the determinism contract the parity suite enforces. A failed
+// rewind means the session no longer reproduces its checkpoint; it is
+// reported as ErrSessionCorrupt, which quarantines the session upstream.
 func execute(sess *session, spec JobSpec, opt core.Options) (*Result, error) {
 	if spec.Kind == KindCloud {
 		return executeCloud(spec, opt)
 	}
 	p := sess.p
 	if err := p.Restore(sess.state); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrSessionCorrupt, err)
 	}
 	p.Opt.Workers = opt.Workers
 	p.Opt.Pool = opt.Pool
@@ -56,6 +82,9 @@ func execute(sess *session, spec JobSpec, opt core.Options) (*Result, error) {
 		}, nil
 
 	case KindModules:
+		if err := p.M.Fire("probe"); err != nil {
+			return nil, err
+		}
 		table := core.SizeTable(sess.kernel.ProcModules())
 		res := core.Modules(p, table)
 		score := core.ScoreModules(res, sess.kernel.Modules, table)
@@ -153,6 +182,9 @@ func execute(sess *session, spec JobSpec, opt core.Options) (*Result, error) {
 		return executeDefense(sess, spec)
 
 	case KindUserScan:
+		if err := p.M.Fire("probe"); err != nil {
+			return nil, err
+		}
 		start, end := sess.libWindow()
 		res := core.UserScan(p, start, end)
 		regions := make([]Region, len(res.Regions))
@@ -190,6 +222,9 @@ func execute(sess *session, spec JobSpec, opt core.Options) (*Result, error) {
 // the evaluation reproduced the paper's §V finding for that defense.
 func executeDefense(sess *session, spec JobSpec) (*Result, error) {
 	p := sess.p
+	if err := p.M.Fire("probe"); err != nil {
+		return nil, err
+	}
 	preset := p.M.Preset
 	t0 := p.M.RDTSC()
 	res := &Result{Kind: spec.Kind, Defense: spec.Defense}
@@ -229,7 +264,7 @@ func executeDefense(sess *session, spec JobSpec) (*Result, error) {
 			// staleness check used, so its runtime is the same pure function
 			// of the session state.
 			if err := p.Restore(sess.state); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%w: %w", ErrSessionCorrupt, err)
 			}
 			pts, attackSec, err := defense.RerandSweep(p, sess.kernel, spec.RerandPeriodsSec)
 			if err != nil {

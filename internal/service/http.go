@@ -5,18 +5,27 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"time"
 )
+
+// MaxWaitPoll bounds the GET /jobs/{id}?wait= long-poll: longer waits are
+// clamped, never rejected, so a client asking for "forever" still gets a
+// bounded response and re-polls.
+const MaxWaitPoll = 30 * time.Second
 
 // NewHandler exposes a scheduler over HTTP — the scand daemon's API:
 //
 //	POST /jobs       submit a JobSpec (JSON body) → 202 {"id": N}
-//	GET  /jobs/{id}  job status + result
+//	GET  /jobs/{id}  job status + result; ?wait=2s long-polls until the
+//	                 job finishes or the (capped) wait elapses — the
+//	                 response is the job's state either way
 //	GET  /stats      aggregate service stats
 //	POST /drain      stop accepting, run the queue dry (async) → 202
 //	GET  /healthz    liveness
 //
-// Rejections map to HTTP backpressure codes: 429 on a full queue, 503
-// while draining.
+// Rejections map to HTTP backpressure codes: 429 + Retry-After on a full
+// queue or when admission control sheds (ShedWatermark), 503 while
+// draining.
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -27,7 +36,10 @@ func NewHandler(s *Scheduler) http.Handler {
 		}
 		j, err := s.Submit(spec)
 		switch {
-		case errors.Is(err, ErrQueueFull):
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
+			// Backpressure the client can obey: both shedding and a full
+			// queue clear within the retry horizon of one job's latency.
+			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, ErrDraining):
 			httpError(w, http.StatusServiceUnavailable, err.Error())
@@ -44,6 +56,22 @@ func NewHandler(s *Scheduler) http.Handler {
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "bad job id")
 			return
+		}
+		if ws := r.URL.Query().Get("wait"); ws != "" {
+			d, err := parseWait(ws)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad wait: "+err.Error())
+				return
+			}
+			if j, ok := s.Store().Get(id); ok && d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-j.Done():
+				case <-t.C:
+				case <-r.Context().Done():
+				}
+				t.Stop()
+			}
 		}
 		snap, ok := s.Store().Snapshot(id)
 		if !ok {
@@ -63,6 +91,26 @@ func NewHandler(s *Scheduler) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
 	return mux
+}
+
+// parseWait parses the ?wait= value — a Go duration ("500ms", "2s") or a
+// plain number of seconds — clamped to [0, MaxWaitPoll].
+func parseWait(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		secs, err2 := strconv.ParseFloat(s, 64)
+		if err2 != nil {
+			return 0, err
+		}
+		d = time.Duration(secs * float64(time.Second))
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > MaxWaitPoll {
+		d = MaxWaitPoll
+	}
+	return d, nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -469,6 +469,10 @@ type Result struct {
 	// seconds (the Table I probing/total split).
 	ProbeSimSec float64 `json:"probe_sim_sec"`
 	TotalSimSec float64 `json:"total_sim_sec"`
+	// Retries counts the transient failures healed before this result was
+	// produced (scheduler-side accounting; always 0 on a zero-fault run,
+	// so the payload stays bit-identical to the parity references).
+	Retries int `json:"retries,omitempty"`
 }
 
 // RerandPoint is one period row of a re-randomization sweep result.
@@ -486,7 +490,12 @@ type Job struct {
 
 	Status Status  `json:"status"`
 	Err    string  `json:"error,omitempty"`
-	Result *Result `json:"result,omitempty"`
+	// ErrClass is the failure's retry classification (failed jobs only).
+	ErrClass ErrorClass `json:"error_class,omitempty"`
+	Result   *Result    `json:"result,omitempty"`
+	// Attempts is how many times the job ran (recorded only when > 1, i.e.
+	// when transient failures forced retries).
+	Attempts int `json:"attempts,omitempty"`
 	// ReusedSession and ReusedCalibration report what the session cache
 	// contributed (host-side provenance, not part of the payload).
 	ReusedSession     bool `json:"reused_session,omitempty"`

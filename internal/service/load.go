@@ -1,7 +1,9 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -80,6 +82,12 @@ type LoadConfig struct {
 	Victims int
 	// Mix is the scenario rotation (default DefaultMix).
 	Mix []JobSpec
+	// WaitTimeout bounds how long a submitter waits on one accepted job
+	// (default 2m — above the scheduler's own job deadline, so the
+	// scheduler's watchdog fails a wedged job before the load generator
+	// gives up on it). A timed-out wait is counted and the submitter moves
+	// on; it never hangs the run.
+	WaitTimeout time.Duration
 }
 
 // LoadReport is the outcome of one load run.
@@ -87,10 +95,14 @@ type LoadReport struct {
 	Jobs        int     `json:"jobs"`
 	Concurrency int     `json:"concurrency"`
 	WallSec     float64 `json:"wall_sec"`
-	Retries     int     `json:"retries"` // queue-full resubmissions
-	// SubmitErrors counts submissions the scheduler rejected outright
+	Retries     int     `json:"retries"` // backpressure resubmissions (queue full / shed)
+	// SubmitErrors counts submissions the scheduler rejected permanently
 	// (invalid spec); those jobs are skipped, not retried.
-	SubmitErrors int   `json:"submit_errors,omitempty"`
+	SubmitErrors int `json:"submit_errors,omitempty"`
+	// WaitTimeouts counts accepted jobs whose result wait exceeded
+	// LoadConfig.WaitTimeout (the submitter moved on; the job may still
+	// finish).
+	WaitTimeouts int   `json:"wait_timeouts,omitempty"`
 	Stats        Stats `json:"stats"`
 }
 
@@ -115,14 +127,18 @@ func RunLoad(s *Scheduler, cfg LoadConfig) LoadReport {
 	if len(cfg.Mix) == 0 {
 		cfg.Mix = DefaultMix()
 	}
+	if cfg.WaitTimeout <= 0 {
+		cfg.WaitTimeout = 2 * time.Minute
+	}
 
 	start := time.Now()
 	var (
-		next      int
-		retries   int
-		subErrors int
-		mu        sync.Mutex
-		wg        sync.WaitGroup
+		next         int
+		retries      int
+		subErrors    int
+		waitTimeouts int
+		mu           sync.Mutex
+		wg           sync.WaitGroup
 	)
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
@@ -142,20 +158,36 @@ func RunLoad(s *Scheduler, cfg LoadConfig) LoadReport {
 				for {
 					j, err := s.Submit(spec)
 					if err == nil {
-						<-j.Done()
+						// Bounded wait: a job whose executor died must not
+						// hang the submitter — WaitCtx gives up after the
+						// timeout and the run keeps flowing.
+						ctx, cancel := context.WithTimeout(context.Background(), cfg.WaitTimeout)
+						_, werr := s.WaitCtx(ctx, j)
+						cancel()
+						if errors.Is(werr, context.DeadlineExceeded) {
+							mu.Lock()
+							waitTimeouts++
+							mu.Unlock()
+						}
 						break
 					}
-					if err == ErrDraining {
+					if errors.Is(err, ErrDraining) {
+						// Draining is permanent for the whole run, not just
+						// this job: stop submitting instead of retrying
+						// forever against a scheduler that will never
+						// accept again.
 						return
 					}
-					if err != ErrQueueFull {
-						// Validation errors are permanent: retrying would
+					if Classify(err) == ClassPermanent {
+						// Permanent (validation) errors: retrying would
 						// livelock. Skip the job and keep the run going.
 						mu.Lock()
 						subErrors++
 						mu.Unlock()
 						break
 					}
+					// Transient backpressure (queue full, shed): resubmit
+					// after a short pause.
 					mu.Lock()
 					retries++
 					mu.Unlock()
@@ -171,6 +203,7 @@ func RunLoad(s *Scheduler, cfg LoadConfig) LoadReport {
 		WallSec:      time.Since(start).Seconds(),
 		Retries:      retries,
 		SubmitErrors: subErrors,
+		WaitTimeouts: waitTimeouts,
 		Stats:        s.Stats(),
 	}
 }

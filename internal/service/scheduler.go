@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // Submission errors.
@@ -43,7 +45,38 @@ type Config struct {
 	// daemon's memory stays bounded while the aggregate stats keep
 	// counting.
 	Store StoreConfig
+	// MaxAttempts caps how many times one job runs before a transient
+	// failure becomes final (0 means 3; 1 disables retries). Permanent
+	// failures never retry regardless.
+	MaxAttempts int
+	// RetryBackoff is the first retry's backoff; each further attempt
+	// doubles it up to MaxRetryBackoff. 0 means 2ms. Backoffs abort
+	// immediately when the scheduler drains.
+	RetryBackoff time.Duration
+	// JobDeadline bounds one attempt's executor wall-clock: overrunning
+	// attempts are *failed* by a watchdog (ErrJobDeadline, transient), the
+	// orphaned body self-terminates and its session is quarantined. 0
+	// means DefaultJobDeadline; negative disables the watchdog.
+	JobDeadline time.Duration
+	// ShedWatermark enables admission control: submissions arriving while
+	// the queue holds at least this many jobs are shed with ErrOverloaded
+	// (HTTP 429 + Retry-After) before the queue is full. 0 disables
+	// shedding — the queue's own capacity (ErrQueueFull) is then the only
+	// backpressure.
+	ShedWatermark int
+	// Fault configures deterministic fault injection (zero = disabled, the
+	// production state: every hook degenerates to a nil test).
+	Fault fault.Config
 }
+
+// DefaultJobDeadline is the per-attempt watchdog deadline when
+// Config.JobDeadline is 0: generous next to the longest real job (hundreds
+// of milliseconds), tight enough that a wedged executor is failed and
+// recycled instead of holding its slot forever.
+const DefaultJobDeadline = 2 * time.Minute
+
+// MaxRetryBackoff caps the exponential retry backoff.
+const MaxRetryBackoff = 250 * time.Millisecond
 
 func (c Config) withDefaults() Config {
 	if c.Executors <= 0 {
@@ -64,6 +97,15 @@ func (c Config) withDefaults() Config {
 			c.MaxIdleSessions = 16
 		}
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
+	if c.JobDeadline == 0 {
+		c.JobDeadline = DefaultJobDeadline
+	}
 	return c
 }
 
@@ -75,9 +117,14 @@ type Scheduler struct {
 	pool  *core.ScanPool
 	cache *sessionCache
 	store *Store
+	inj   *fault.Injector
 
 	queue  chan *Job
 	nextID atomic.Uint64
+	// drainCh is closed when Drain starts: in-flight backoffs and injected
+	// stalls abandon their waits immediately, so a drain never outlasts a
+	// retry schedule.
+	drainCh chan struct{}
 
 	mu       sync.Mutex
 	draining bool
@@ -88,10 +135,12 @@ type Scheduler struct {
 func New(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
 	s := &Scheduler{
-		cfg:   cfg,
-		cache: newSessionCache(cfg.MaxIdleSessions),
-		store: NewBoundedStore(cfg.Store),
-		queue: make(chan *Job, cfg.QueueDepth),
+		cfg:     cfg,
+		cache:   newSessionCache(cfg.MaxIdleSessions),
+		store:   NewBoundedStore(cfg.Store),
+		inj:     fault.New(cfg.Fault),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		drainCh: make(chan struct{}),
 	}
 	if !cfg.FreshWorkers {
 		s.pool = core.NewScanPool()
@@ -136,6 +185,14 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		s.store.reject()
 		return nil, ErrDraining
 	}
+	if w := s.cfg.ShedWatermark; w > 0 && len(s.queue) >= w {
+		// Admission control: shed before the queue is full, keeping
+		// headroom so work already admitted keeps flowing while clients
+		// back off (HTTP maps this to 429 + Retry-After).
+		s.mu.Unlock()
+		s.store.shed()
+		return nil, ErrOverloaded
+	}
 	select {
 	case s.queue <- j:
 	default:
@@ -160,15 +217,31 @@ func (s *Scheduler) Wait(j *Job) (*Result, error) {
 	return snap.Result, nil
 }
 
+// WaitCtx is Wait bounded by a context: it returns the job's result when
+// the job finishes first, or the context's error when the deadline or
+// cancellation wins — so a client can never hang forever on a job whose
+// executor died. The job itself keeps running either way.
+func (s *Scheduler) WaitCtx(ctx context.Context, j *Job) (*Result, error) {
+	select {
+	case <-j.Done():
+		return s.Wait(j)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // Drain stops accepting new jobs, runs the queue dry and waits for every
-// executor to finish — the daemon's graceful-shutdown path. Safe to call
-// more than once.
+// executor to finish — the daemon's graceful-shutdown path. In-flight
+// retry backoffs and injected stalls are aborted immediately (their jobs
+// fail with their last classified error), so Drain terminates even
+// mid-fault-storm. Safe to call more than once.
 func (s *Scheduler) Drain() {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
 	if !already {
 		close(s.queue)
+		close(s.drainCh)
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -177,41 +250,176 @@ func (s *Scheduler) Drain() {
 // Stats returns the aggregate service metrics.
 func (s *Scheduler) Stats() Stats {
 	st := s.store.Stats()
-	st.Sessions, st.CalibrationsReused = s.cache.stats()
+	st.Sessions, st.CalibrationsReused, st.Quarantined = s.cache.stats()
 	if s.pool != nil {
 		st.PoolReplicas = s.pool.Replicas()
 	}
+	st.FaultsInjected = s.inj.TotalFired()
 	return st
 }
 
-// executor is one job-running goroutine: it pulls jobs off the queue,
-// binds a session (except for cloud jobs) and executes the attack.
+// executor is one job-running goroutine: it pulls jobs off the queue and
+// runs each through the retry loop. The attempt bodies carry their own
+// panic isolation, so an executor survives anything a job throws.
 func (s *Scheduler) executor() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		s.store.markRunning(j)
-		var sess *session
-		var reused bool
-		var err error
-		if j.Spec.Kind != KindCloud {
-			sess, reused, err = s.cache.acquire(j.Spec)
-		}
-		if err != nil {
-			s.store.complete(j, nil, err)
-			continue
-		}
-		if sess != nil {
-			s.store.setProvenance(j, reused, sess.cachedCal)
-		}
-		opt := s.scanOptions()
-		if j.Spec.ScanWorkers != nil {
-			// Per-job override (validated at submission): parallelism is
-			// host-side only, so results stay bit-identical to the
-			// scheduler default — only this job's latency changes.
-			opt.Workers = *j.Spec.ScanWorkers
-		}
-		res, err := execute(sess, j.Spec, opt)
-		s.cache.release(sess)
-		s.store.complete(j, res, err)
+		s.runJob(j)
 	}
+}
+
+// runJob drives one job to a terminal state: attempts run under the
+// watchdog, transient failures retry with capped exponential backoff up to
+// Config.MaxAttempts, permanent failures (and drains) are final on sight.
+// Every path ends in exactly one store completion — a job never leaks in
+// StatusRunning.
+func (s *Scheduler) runJob(j *Job) {
+	s.store.markRunning(j)
+	key := j.Spec.faultKey()
+	opt := s.scanOptions()
+	if j.Spec.ScanWorkers != nil {
+		// Per-job override (validated at submission): parallelism is
+		// host-side only, so results stay bit-identical to the
+		// scheduler default — only this job's latency changes.
+		opt.Workers = *j.Spec.ScanWorkers
+	}
+	var res *Result
+	var err error
+	attempt := 0
+	for {
+		attempt++
+		res, err = s.attempt(j, key, attempt, opt)
+		if err == nil || Classify(err) == ClassPermanent || attempt >= s.cfg.MaxAttempts {
+			break
+		}
+		s.store.retry()
+		if !s.backoff(attempt) {
+			// Draining: abandon the retry schedule; the job fails with its
+			// last classified error rather than outliving the drain.
+			err = fmt.Errorf("service: retries abandoned by drain: %w", err)
+			break
+		}
+	}
+	if res != nil && attempt > 1 {
+		res.Retries = attempt - 1
+	}
+	s.store.completeAttempts(j, res, err, attempt)
+}
+
+// backoff sleeps the capped exponential backoff before retry `attempt+1`,
+// returning false when the drain signal aborted the wait.
+func (s *Scheduler) backoff(attempt int) bool {
+	d := s.cfg.RetryBackoff << (attempt - 1)
+	if d > MaxRetryBackoff || d <= 0 {
+		d = MaxRetryBackoff
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.drainCh:
+		return false
+	}
+}
+
+// attempt runs one attempt of a job under the deadline watchdog. The body
+// runs in its own goroutine; if it overruns the deadline the watchdog
+// *fails* the attempt (ErrJobDeadline) and closes the attempt's stop
+// channel — injected stalls block on exactly that signal, so the orphaned
+// body self-terminates, quarantines its session and exits instead of
+// leaking. The done channel is buffered so a late body never blocks on a
+// watchdog that already returned.
+func (s *Scheduler) attempt(j *Job, key uint64, attempt int, opt core.Options) (*Result, error) {
+	env := &attemptEnv{
+		plan:     s.inj.Plan(key, attempt),
+		stop:     make(chan struct{}),
+		drain:    s.drainCh,
+		watchdog: s.cfg.JobDeadline > 0,
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			// Backstop isolation: attemptBody recovers panics itself (it
+			// owns the session cleanup), so anything arriving here escaped
+			// outside a body — still convert it into a failed attempt
+			// rather than a dead executor.
+			if r := recover(); r != nil {
+				done <- outcome{nil, fmt.Errorf("%w: %v", ErrPanicked, r)}
+			}
+		}()
+		res, err := s.attemptBody(j, opt, env)
+		done <- outcome{res, err}
+	}()
+	if !env.watchdog {
+		out := <-done
+		return out.res, out.err
+	}
+	watchdog := time.NewTimer(s.cfg.JobDeadline)
+	defer watchdog.Stop()
+	select {
+	case out := <-done:
+		return out.res, out.err
+	case <-watchdog.C:
+		close(env.stop)
+		return nil, fmt.Errorf("%w (after %v, attempt %d)", ErrJobDeadline, s.cfg.JobDeadline, attempt)
+	}
+}
+
+// attemptBody is the guarded body of one attempt: session binding, fault
+// sites, the attack itself, and — in one deferred path — panic recovery,
+// quarantine and session release. The deferred cleanup is what makes the
+// guarantees compose: a panic or a corrupt session quarantines (the
+// session is dropped at release, never re-adopted; the next attempt's
+// fresh boot rebuilds it bit-identically via the calibration cache), and a
+// body orphaned by the watchdog detects the closed stop channel and
+// quarantines too, since whatever state it reached belongs to an attempt
+// that already failed.
+func (s *Scheduler) attemptBody(j *Job, opt core.Options, env *attemptEnv) (res *Result, err error) {
+	var sess *session
+	if j.Spec.Kind != KindCloud {
+		var reused bool
+		sess, reused, err = s.cache.acquireHook(j.Spec, env.hook())
+		if err != nil {
+			return nil, err
+		}
+		s.store.setProvenance(j, reused, sess.cachedCal)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrPanicked, r)
+			s.cache.quarantine(sess)
+		} else if err != nil && errors.Is(err, ErrSessionCorrupt) {
+			s.cache.quarantine(sess)
+		} else {
+			select {
+			case <-env.stop:
+				// The watchdog already failed this attempt: the session's
+				// state is that of an abandoned job, not a finished one.
+				s.cache.quarantine(sess)
+			default:
+			}
+		}
+		s.cache.release(sess)
+	}()
+	if f := env.fire(fault.Panic); f != nil {
+		panic(f)
+	}
+	if f := env.fire(fault.Stall); f != nil {
+		if env.watchdog {
+			// Wedge until the watchdog deadline fails the attempt (or the
+			// drain lets everything go): this is the "fails, not leaks"
+			// contract under test — the body terminates either way.
+			select {
+			case <-env.stop:
+			case <-env.drain:
+			}
+		}
+		return nil, f
+	}
+	return executeAttempt(sess, j.Spec, opt, env)
 }

@@ -268,7 +268,7 @@ func TestCalibrationCacheSkipsCalibrate(t *testing.T) {
 		s1.p.StoreThreshold.Cycles != s2.p.StoreThreshold.Cycles {
 		t.Fatal("cached-calibration prober thresholds differ")
 	}
-	made, hits := cache.stats()
+	made, hits, _ := cache.stats()
 	if made != 2 || hits != 1 {
 		t.Fatalf("stats: made=%d calHits=%d, want 2/1", made, hits)
 	}

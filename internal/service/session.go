@@ -46,6 +46,11 @@ type session struct {
 	// cachedCal reports the session skipped Calibrate via the calibration
 	// cache.
 	cachedCal bool
+	// quarantined marks a session the scheduler condemned (panic, corrupt
+	// restore, watchdog abandonment): release drops it instead of parking
+	// it, so a condemned session is never re-adopted. Guarded by the
+	// cache's mutex.
+	quarantined bool
 
 	// Temporal-session state (nil/zero for stateless kinds).
 	//
@@ -66,9 +71,11 @@ type sessionCache struct {
 	mu   sync.Mutex
 	free map[string][]*session
 	cals map[string]core.Calibration
-	// made counts sessions ever built; calHits counts calibrations skipped.
-	made    int
-	calHits int
+	// made counts sessions ever built; calHits counts calibrations
+	// skipped; quarantined counts sessions condemned and dropped.
+	made        int
+	calHits     int
+	quarantined int
 	// max bounds the number of idle sessions kept (0 = unbounded).
 	max  int
 	idle int
@@ -87,6 +94,14 @@ func newSessionCache(max int) *sessionCache {
 // returned flag reports reuse. Callers must release the session after the
 // job.
 func (c *sessionCache) acquire(spec JobSpec) (*session, bool, error) {
+	return c.acquireHook(spec, nil)
+}
+
+// acquireHook is acquire with a fault hook installed for the build phase:
+// boot and calibration faults fire through it on cache misses (cache hits
+// build nothing, so they draw nothing — the documented cache-dependence of
+// the boot/calibrate sites).
+func (c *sessionCache) acquireHook(spec JobSpec, hook func(op string) error) (*session, bool, error) {
 	key := spec.victimKey()
 	c.mu.Lock()
 	if list := c.free[key]; len(list) > 0 {
@@ -102,7 +117,7 @@ func (c *sessionCache) acquire(spec JobSpec) (*session, bool, error) {
 
 	// Boot outside the lock: victim construction is the expensive part and
 	// concurrent executors must not serialize on it.
-	s, err := buildSession(spec, cal, haveCal)
+	s, err := buildSessionHook(spec, cal, haveCal, hook)
 	if err != nil {
 		return nil, false, err
 	}
@@ -118,13 +133,16 @@ func (c *sessionCache) acquire(spec JobSpec) (*session, bool, error) {
 }
 
 // release parks the session for reuse (or drops it when the idle cap is
-// reached).
+// reached, or when it was quarantined).
 func (c *sessionCache) release(s *session) {
 	if s == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if s.quarantined {
+		return // condemned: never re-adopted; the next boot rebuilds it
+	}
 	if c.max > 0 && c.idle >= c.max {
 		return // drop; the calibration cache still covers the next boot
 	}
@@ -132,11 +150,29 @@ func (c *sessionCache) release(s *session) {
 	c.idle++
 }
 
-// stats returns (sessions built, calibrations skipped).
-func (c *sessionCache) stats() (made, calHits int) {
+// quarantine condemns a session: it will be dropped at release instead of
+// parked, and can never be adopted by another job. The cached calibration
+// for its victim key is untouched — it was taken from a healthy build, and
+// it is what makes the replacement boot bit-identical. Nil-safe (cloud
+// attempts have no session).
+func (c *sessionCache) quarantine(s *session) {
+	if s == nil {
+		return
+	}
+	c.mu.Lock()
+	if !s.quarantined {
+		s.quarantined = true
+		c.quarantined++
+	}
+	c.mu.Unlock()
+}
+
+// stats returns (sessions built, calibrations skipped, sessions
+// quarantined).
+func (c *sessionCache) stats() (made, calHits, quarantined int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.made, c.calHits
+	return c.made, c.calHits, c.quarantined
 }
 
 // buildSession boots the spec's victim and produces a calibrated prober —
@@ -145,11 +181,27 @@ func (c *sessionCache) stats() (made, calHits int) {
 // direct-call recipe (cmd/avxattack, the examples), which is what makes
 // service results bit-identical to direct core calls.
 func buildSession(spec JobSpec, cal core.Calibration, haveCal bool) (*session, error) {
+	return buildSessionHook(spec, cal, haveCal, nil)
+}
+
+// buildSessionHook is buildSession with a fault hook installed on the
+// machine for the build's duration: the boot site fires right after
+// machine construction and the calibrate site inside core.Calibrate. The
+// hook is cleared before the session is returned — parked sessions carry
+// no hook; job attempts install their own.
+func buildSessionHook(spec JobSpec, cal core.Calibration, haveCal bool, hook func(op string) error) (*session, error) {
 	preset := uarch.ByName(spec.CPU)
 	if preset == nil {
 		return nil, fmt.Errorf("service: no CPU preset matches %q", spec.CPU)
 	}
 	m := machine.New(preset, spec.Seed)
+	if hook != nil {
+		m.FaultHook = hook
+		defer func() { m.FaultHook = nil }()
+		if err := m.Fire("boot"); err != nil {
+			return nil, err
+		}
+	}
 	v := victim{m: m}
 	switch spec.Kind {
 	case KindKernelBase, KindModules, KindKPTI, KindBehaviorSpy, KindAppFingerprint, KindDefenseEval:

@@ -62,6 +62,8 @@ type Store struct {
 	failed    int
 	correct   int
 	rejected  int
+	retries   int
+	shedded   int
 	simSec    float64
 	subs      map[int]chan *Job
 	nextSub   int
@@ -126,6 +128,22 @@ func (st *Store) reject() {
 	st.mu.Unlock()
 }
 
+// shed counts a submission dropped by admission control (it also counts as
+// rejected — shedding is a rejection with an earlier trigger).
+func (st *Store) shed() {
+	st.mu.Lock()
+	st.rejected++
+	st.shedded++
+	st.mu.Unlock()
+}
+
+// retry counts one transient-failure retry the scheduler scheduled.
+func (st *Store) retry() {
+	st.mu.Lock()
+	st.retries++
+	st.mu.Unlock()
+}
+
 // markRunning transitions a job to running.
 func (st *Store) markRunning(j *Job) {
 	st.mu.Lock()
@@ -146,11 +164,24 @@ func (st *Store) setProvenance(j *Job, reusedSession, reusedCalibration bool) {
 // complete finishes a job (result or error), updates the aggregates and
 // streams the job to subscribers.
 func (st *Store) complete(j *Job, res *Result, err error) {
+	st.completeAttempts(j, res, err, 1)
+}
+
+// completeAttempts is complete with the scheduler's per-job attempt
+// accounting: retried jobs record their attempt count and failed jobs
+// their error class. Single-attempt successes record neither, keeping the
+// zero-fault job JSON (and the parity suites' DeepEqual references)
+// bit-identical to the pre-fault-injection service.
+func (st *Store) completeAttempts(j *Job, res *Result, err error, attempts int) {
 	st.mu.Lock()
 	j.Finished = time.Now()
+	if attempts > 1 {
+		j.Attempts = attempts
+	}
 	if err != nil {
 		j.Status = StatusFailed
 		j.Err = err.Error()
+		j.ErrClass = Classify(err)
 		st.failed++
 	} else {
 		j.Status = StatusDone
@@ -252,6 +283,15 @@ type Stats struct {
 	Evicted int `json:"evicted,omitempty"`
 	// Retained is the number of jobs currently queryable.
 	Retained int `json:"retained"`
+	// Self-healing counters (omitted while zero, so a fault-free daemon's
+	// stats are unchanged): Retries counts transient-failure re-attempts,
+	// Shed counts submissions dropped by admission control (also included
+	// in Rejected), Quarantined counts sessions condemned and dropped, and
+	// FaultsInjected totals the injector's fired faults (0 without -fault-rate).
+	Retries        int    `json:"retries,omitempty"`
+	Shed           int    `json:"shed,omitempty"`
+	Quarantined    int    `json:"quarantined,omitempty"`
+	FaultsInjected uint64 `json:"faults_injected,omitempty"`
 }
 
 // Stats computes the current aggregates. The latency quantiles cover the
@@ -266,6 +306,8 @@ func (st *Store) Stats() Stats {
 		Completed:      st.completed,
 		Failed:         st.failed,
 		Rejected:       st.rejected,
+		Retries:        st.retries,
+		Shed:           st.shedded,
 		SimAttackerSec: st.simSec,
 		StreamDropped:  st.dropped,
 		Evicted:        st.evicted,
