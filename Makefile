@@ -18,13 +18,21 @@
 #                    produce identical retry/quarantine traces, drains must
 #                    win races against stalls and backoffs, and nothing may
 #                    leak a goroutine
+#   make ci-obs    - the observability gate under -race with GOMAXPROCS=2:
+#                    the obs metrics/span suites, the timeline renderer,
+#                    the service metrics/trace endpoints, span-tree
+#                    determinism under chaos, Store.Stats under
+#                    eviction/TTL churn concurrent with scrapes — plus the
+#                    zero-alloc guards proving the disabled-recorder hot
+#                    path costs nothing
 #   make bench     - vet + tier-1 + race + the scan-engine benchmarks;
 #                    appends the parsed results to BENCH_scan.json so the
 #                    perf trajectory is tracked across PRs
 #   make bench-all - same, but runs the full benchmark suite (minutes)
 #   make bench-compare - diff the last two BENCH_scan.json entries and warn
-#                    on >10% probes/s regressions (STRICT=1 to fail on one;
-#                    check the recorded num_cpu before blaming the code)
+#                    on >10% throughput regressions in probes/s, jobs/s or
+#                    ticks/s (STRICT=1 to fail on one; check the recorded
+#                    num_cpu before blaming the code)
 #   make load      - run the scand load generator (mixed attack scenarios
 #                    through the service scheduler) and append a jobs/s +
 #                    p50/p99 latency entry to BENCH_scan.json
@@ -35,11 +43,11 @@
 
 GO ?= go
 
-.PHONY: all vet test test-race ci ci-smp ci-chaos bench bench-all bench-compare load load-smoke
+.PHONY: all vet test test-race ci ci-smp ci-chaos ci-obs bench bench-all bench-compare load load-smoke
 
 all: vet test
 
-ci: vet test test-race ci-smp ci-chaos load-smoke bench-compare
+ci: vet test test-race ci-smp ci-chaos ci-obs load-smoke bench-compare
 
 # -count=1: the test cache does not key on GOMAXPROCS, so without it this
 # tier would silently reuse the single-P results.
@@ -56,6 +64,17 @@ ci-smp:
 ci-chaos:
 	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/fault
 	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Chaos|Fault|Panic|Deadline|Retry|Drain|Quarantine|WaitCtx|Shed|Wait' ./internal/service
+
+# The observability gate: instrumentation must be deterministic (identical
+# seeds => byte-identical canonical span trees, even under chaos), correct
+# under churn (Stats histograms survive eviction/TTL, scrapes race
+# completions cleanly), and free when off (the zero-alloc guards on the
+# nil-recorder path).
+ci-obs:
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/obs ./internal/trace
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'SpanTree|Trace|Metrics|StoreStats|KindLatencies|ZeroAlloc' ./internal/service
+	GOMAXPROCS=2 $(GO) test -count=1 -run 'TestDisabledPathZeroAlloc' ./internal/obs
+	GOMAXPROCS=2 $(GO) test -count=1 -run 'TestSchedulerDisabledTraceZeroAlloc' ./internal/service
 
 vet:
 	$(GO) vet ./...

@@ -25,7 +25,17 @@
 //	scand [-addr :8440] [-executors N] [-scan-workers N] [-queue N] [-fresh]
 //	      [-store-max-jobs N] [-store-ttl D] [-pprof localhost:6060]
 //	      [-max-attempts N] [-job-deadline D] [-shed-watermark N]
-//	      [-fault-seed N -fault-rate P]
+//	      [-fault-seed N -fault-rate P] [-trace-sample N] [-trace-buffer N]
+//
+// The observability plane is always on for metrics and opt-in for traces:
+// GET /metrics serves Prometheus text (per-kind/per-defense/per-site
+// labels, queue depth, stage and latency histograms) at O(buckets) cost per
+// scrape, and -trace-sample N records every Nth job's full lifecycle —
+// queue wait, session acquire (cache hit/miss), restore, execute, retries,
+// backoffs, fault and quarantine annotations — into a bounded ring
+// (-trace-buffer), served as JSON or an ASCII timeline from
+// GET /jobs/{id}/trace. With -trace-sample 0 the recorder is nil and the
+// instrumented path costs one nil check per stage.
 //
 // -pprof serves net/http/pprof on a side listener (works in both daemon and
 // load mode), so CPU/heap profiles of a live daemon never share a port with
@@ -37,7 +47,10 @@
 //	POST /jobs       {"kind":"defenseeval","defense":"flare","seed":7}
 //	POST /jobs       {"kind":"defenseeval","defense":"rerand","seed":7,"rerand_periods_sec":[0.001,0.1]}
 //	GET  /jobs/1     status + result
+//	GET  /jobs/1/trace          sampled lifecycle span tree (JSON)
+//	GET  /jobs/1/trace?format=ascii  the same trace as an ASCII timeline
 //	GET  /stats      success rate, jobs/s, p50/p99 latency, reuse counters
+//	GET  /metrics    Prometheus text exposition
 //	POST /drain      graceful drain (finish queued work, refuse new jobs)
 //
 // SIGINT/SIGTERM also drain before exiting. Load-generator mode hammers
@@ -57,6 +70,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 
 	"repro/internal/service"
@@ -85,6 +99,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		shedMark    = fs.Int("shed-watermark", 0, "shed submissions when the queue holds this many jobs (0 = off)")
 		faultSeed   = fs.Uint64("fault-seed", 0, "deterministic fault-injection seed (chaos runs)")
 		faultRate   = fs.Float64("fault-rate", 0, "uniform per-site fault probability in [0,1] (0 = injection off)")
+		traceSample = fs.Int("trace-sample", 0, "record every Nth job's lifecycle trace (1 = every job, 0 = tracing off)")
+		traceBuffer = fs.Int("trace-buffer", 0, "retained traces in the bounded ring (0 = 256)")
 		load        = fs.Bool("load", false, "run the load generator instead of the daemon")
 		jobs        = fs.Int("jobs", 256, "load: total jobs")
 		concurrency = fs.Int("concurrency", 64, "load: concurrent submitters")
@@ -110,6 +126,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		JobDeadline:   *jobDeadline,
 		ShedWatermark: *shedMark,
 		Fault:         service.FaultConfig(*faultSeed, *faultRate),
+		TraceSample:   *traceSample,
+		TraceBuffer:   *traceBuffer,
 	}
 	s := service.New(cfg)
 	if *faultRate > 0 {
@@ -177,6 +195,17 @@ func runLoad(s *service.Scheduler, jobs, concurrency, victims int, seed uint64, 
 	s.Drain()
 	rep.Stats = s.Stats()
 	printStats(stdout, rep.Stats)
+	if len(rep.KindLatency) > 0 {
+		kinds := make([]string, 0, len(rep.KindLatency))
+		for k := range rep.KindLatency {
+			kinds = append(kinds, string(k))
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			kl := rep.KindLatency[service.Kind(k)]
+			fmt.Fprintf(stdout, "  %-16s %4d jobs, p50 %.2f ms, p99 %.2f ms\n", k, kl.Jobs, kl.P50Ms, kl.P99Ms)
+		}
+	}
 	fmt.Fprintf(stdout, "wall %.2fs, %d queue-full retries\n", rep.WallSec, rep.Retries)
 	if rep.Stats.Failed > 0 {
 		fmt.Fprintf(stderr, "scand: %d jobs failed\n", rep.Stats.Failed)

@@ -1,0 +1,38 @@
+// Package obs is the observability plane of the scan service: allocation-
+// free metric primitives (atomic counters, gauges and fixed-bucket
+// log-scale latency histograms, all mergeable and scrape-cheap) plus a
+// deterministic per-job span recorder that captures the full job lifecycle
+// as a tree of named spans.
+//
+// Two design rules govern everything here:
+//
+//   - The record path never allocates and never takes a lock that an
+//     executor could contend on. Counters and gauges are single atomics;
+//     a histogram observation is one atomic add into a bucket computed
+//     with bit arithmetic (O(1), no float math); quantiles and Prometheus
+//     scrapes walk the fixed bucket array — O(buckets), independent of how
+//     many samples were recorded, so /stats and /metrics polling costs the
+//     same at job 100 and job 100 million.
+//
+//   - Disabled instrumentation is a nil pointer. A nil *Recorder hands out
+//     nil *Trace values, whose spans are nil *Span values, and every
+//     method on all three is a no-op on a nil receiver — the scheduler's
+//     hot path pays exactly one nil test per lifecycle stage, the same
+//     idiom internal/fault uses for its disabled injector. A guard test
+//     pins the disabled path at zero allocations.
+//
+// Spans double as determinism oracles. A span tree records the lifecycle
+// both in host wall-clock (diagnostics: where did this job's 40 ms go?)
+// and in deterministic simulated attacker time where a stage has one
+// (Result.TotalSimSec on the execute span). The wall-clock fields are the
+// only nondeterministic data in a trace, so Canonical — a deep copy with
+// the wall fields zeroed — is a pure function of the job's seed, spec and
+// fault schedule under serialized execution: identical seeds must yield
+// byte-identical canonical serializations, which turns the chaos suite's
+// retry/quarantine assertions into whole-tree equality checks.
+//
+// Histograms use a log-linear bucket layout (8 sub-buckets per power of
+// two, ~12.5% relative resolution) over nanosecond values, clamped at the
+// top bucket; this is the layout HDR-style histograms use, chosen here so
+// that the bucket index is two shifts and an add away from the raw value.
+package obs

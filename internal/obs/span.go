@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Attr is one deterministic span annotation. Attrs are part of a trace's
+// canonical form, so everything recorded in them must be a pure function
+// of the job's spec, seed and fault schedule — never of wall-clock or
+// goroutine interleaving (host-side observations belong in the wall
+// fields, which Canonical strips).
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// A is a shorthand Attr constructor.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one named lifecycle stage of a traced job. StartNs/EndNs are
+// host wall-clock nanoseconds relative to the trace start (diagnostics
+// only); SimSec is the deterministic simulated attacker time the stage
+// consumed, where the stage has one. Spans form a tree via Children.
+//
+// All methods are nil-safe no-ops: a disabled trace hands out nil spans,
+// and the instrumented path pays one nil test per call.
+type Span struct {
+	Name     string  `json:"name"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	StartNs  int64   `json:"start_ns"`
+	EndNs    int64   `json:"end_ns"`
+	SimSec   float64 `json:"sim_sec,omitempty"`
+	Children []*Span `json:"children,omitempty"`
+
+	tr *Trace
+}
+
+// Child opens a sub-span under s, stamped with the trace-relative wall
+// clock. Returns nil (still safe to use) on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tr
+	t.mu.Lock()
+	c := &Span{Name: name, StartNs: t.sinceNs(), tr: t}
+	s.Children = append(s.Children, c)
+	t.mu.Unlock()
+	return c
+}
+
+// Annotate appends one deterministic key=value annotation.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// SetSim records the stage's deterministic simulated-time cost in seconds.
+func (s *Span) SetSim(sec float64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.SimSec = sec
+	s.tr.mu.Unlock()
+}
+
+// End stamps the span's wall-clock end. Idempotent (the first End wins).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.EndNs == 0 {
+		s.EndNs = s.tr.sinceNs()
+	}
+	s.tr.mu.Unlock()
+}
+
+// Trace is one job's span tree. A nil *Trace is the disabled state: Root
+// returns a nil span and every downstream call is a nil test.
+type Trace struct {
+	JobID uint64
+
+	mu    sync.Mutex
+	start time.Time
+	root  *Span
+}
+
+// sinceNs returns wall nanoseconds since the trace started (call with
+// t.mu held; monotonic via time.Since).
+func (t *Trace) sinceNs() int64 { return int64(time.Since(t.start)) }
+
+// Root returns the trace's root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// snapshotLocked deep-copies a span subtree (call with t.mu held).
+func snapshotLocked(s *Span) *Span {
+	c := &Span{
+		Name:    s.Name,
+		StartNs: s.StartNs,
+		EndNs:   s.EndNs,
+		SimSec:  s.SimSec,
+	}
+	if len(s.Attrs) > 0 {
+		c.Attrs = append([]Attr(nil), s.Attrs...)
+	}
+	for _, ch := range s.Children {
+		c.Children = append(c.Children, snapshotLocked(ch))
+	}
+	return c
+}
+
+// Snapshot returns a deep copy of the span tree, safe to marshal while
+// the job keeps running. Nil on a nil trace.
+func (t *Trace) Snapshot() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return snapshotLocked(t.root)
+}
+
+// Canonical returns the deterministic form of the span tree: a deep copy
+// with every wall-clock field zeroed, leaving only data that is a pure
+// function of the job's spec, seed and fault schedule (span names,
+// nesting, attrs, sim-time). Under serialized execution, identical seeds
+// must produce byte-identical CanonicalJSON — the chaos suite's span-tree
+// determinism oracle.
+func (t *Trace) Canonical() *Span {
+	s := t.Snapshot()
+	stripWall(s)
+	return s
+}
+
+func stripWall(s *Span) {
+	if s == nil {
+		return
+	}
+	s.StartNs, s.EndNs = 0, 0
+	for _, c := range s.Children {
+		stripWall(c)
+	}
+}
+
+// CanonicalJSON serializes the canonical span tree.
+func (t *Trace) CanonicalJSON() ([]byte, error) {
+	if t == nil {
+		return nil, nil
+	}
+	return json.Marshal(t.Canonical())
+}
+
+// DefaultTraceBuffer is the trace ring's default capacity.
+const DefaultTraceBuffer = 256
+
+// Recorder samples per-job traces into a bounded ring. Construction with
+// a non-positive sample rate returns nil — the disabled recorder, whose
+// Start hands out nil traces; the whole instrumented path then costs one
+// nil check per stage.
+type Recorder struct {
+	sample uint64
+	cap    int
+
+	mu      sync.Mutex
+	traces  map[uint64]*Trace
+	order   []uint64 // FIFO of recorded job IDs — the eviction order
+	started uint64
+}
+
+// NewRecorder builds a recorder tracing jobs whose ID is a multiple of
+// sample (1 = every job), retaining at most capacity traces (0 =
+// DefaultTraceBuffer). sample <= 0 returns the nil disabled recorder.
+// Sampling on the job ID, not a random draw, keeps the traced set a pure
+// function of the submission sequence.
+func NewRecorder(sample, capacity int) *Recorder {
+	if sample <= 0 {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = DefaultTraceBuffer
+	}
+	return &Recorder{
+		sample: uint64(sample),
+		cap:    capacity,
+		traces: make(map[uint64]*Trace),
+	}
+}
+
+// Start begins a trace for job id if it falls in the sample, evicting the
+// oldest retained trace when the ring is full. Returns nil (disabled) for
+// unsampled jobs and on a nil recorder.
+func (r *Recorder) Start(id uint64, attrs ...Attr) *Trace {
+	if r == nil || id%r.sample != 0 {
+		return nil
+	}
+	t := &Trace{JobID: id, start: time.Now()}
+	t.root = &Span{Name: "job", Attrs: attrs, tr: t}
+	r.mu.Lock()
+	if len(r.order) >= r.cap {
+		delete(r.traces, r.order[0])
+		r.order = r.order[1:]
+	}
+	r.traces[id] = t
+	r.order = append(r.order, id)
+	r.started++
+	r.mu.Unlock()
+	return t
+}
+
+// Get returns the retained trace for job id.
+func (r *Recorder) Get(id uint64) (*Trace, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.traces[id]
+	return t, ok
+}
+
+// Started returns how many traces the recorder has begun (including ones
+// since evicted).
+func (r *Recorder) Started() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.started
+}
+
+// Len returns the number of currently retained traces.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.traces)
+}

@@ -110,8 +110,31 @@
 // total simulated attacker time). Retention is bounded (StoreConfig:
 // max-jobs cap plus optional finished-job TTL): only finished jobs are
 // evicted — in-flight jobs are pinned so drains always complete — and the
-// aggregates live in counters that survive eviction, so a long-lived scand
-// serves unbounded traffic in bounded memory. cmd/scand exposes the
+// aggregates live in counters and fixed-bucket histograms (internal/obs)
+// that survive eviction, so a long-lived scand serves unbounded traffic in
+// bounded memory with O(buckets) stats scrapes. cmd/scand exposes the
 // scheduler over HTTP and doubles as the load generator that records
 // sustained-throughput entries in BENCH_scan.json.
+//
+// # Observability contract
+//
+// The metrics plane and the per-job lifecycle traces (internal/obs,
+// Config.TraceSample, GET /metrics, GET /jobs/{id}/trace) are strictly
+// read-only instrumentation: they must be invisible to every parity and
+// determinism suite. Concretely:
+//
+//   - No behavioural coupling. Spans and stage histograms record what the
+//     scheduler did; they never influence scheduling, retry, quarantine or
+//     session-cache decisions, and job results are bit-identical with
+//     tracing on, off, or sampled.
+//   - Free when off. Disabled tracing is a nil *obs.Recorder — jobs carry
+//     nil traces, every span call is a nil-receiver no-op, and the guard
+//     tests pin the disabled hot path at zero allocations (the injector
+//     idiom). Metrics counters/views read existing state at scrape time;
+//     the only always-on cost is one atomic histogram add per stage.
+//   - Traces are determinism oracles, not just debug output. A trace's
+//     canonical form (wall-clock fields zeroed) is a pure function of
+//     (seed, spec, fault schedule) under serialized execution, so `make
+//     ci-obs` asserts byte-identical span trees across runs — any code
+//     change that breaks trace equality has changed actual control flow.
 package service

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/defense"
@@ -31,7 +32,43 @@ func executeAttempt(sess *session, spec JobSpec, opt core.Options, env *attemptE
 			return nil, f
 		}
 	}
-	return execute(sess, spec, opt)
+	return executeTraced(sess, spec, opt, env)
+}
+
+// executeTraced is execute with the attempt's restore/execute child spans
+// and stage metrics threaded around the same two phases execute runs.
+// Behaviour (restore-fault consumption included) is identical to execute —
+// the instrumentation is strictly additive, which is what keeps parity
+// suites calling execute directly valid.
+func executeTraced(sess *session, spec JobSpec, opt core.Options, env *attemptEnv) (*Result, error) {
+	if spec.Kind == KindCloud {
+		esp := env.span.Child("execute")
+		t0 := time.Now()
+		res, err := executeCloud(spec, opt)
+		env.met.execute.Observe(uint64(time.Since(t0)))
+		if res != nil {
+			esp.SetSim(res.TotalSimSec)
+		}
+		esp.End()
+		return res, err
+	}
+	rsp := env.span.Child("restore")
+	t0 := time.Now()
+	err := restoreSession(sess)
+	env.met.restore.Observe(uint64(time.Since(t0)))
+	rsp.End()
+	if err != nil {
+		return nil, err
+	}
+	esp := env.span.Child("execute")
+	t0 = time.Now()
+	res, err := executeKind(sess, spec, opt)
+	env.met.execute.Observe(uint64(time.Since(t0)))
+	if res != nil {
+		esp.SetSim(res.TotalSimSec)
+	}
+	esp.End()
+	return res, err
 }
 
 // execute runs one job on its session (nil for cloud jobs, which boot
@@ -46,10 +83,24 @@ func execute(sess *session, spec JobSpec, opt core.Options) (*Result, error) {
 	if spec.Kind == KindCloud {
 		return executeCloud(spec, opt)
 	}
-	p := sess.p
-	if err := p.Restore(sess.state); err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrSessionCorrupt, err)
+	if err := restoreSession(sess); err != nil {
+		return nil, err
 	}
+	return executeKind(sess, spec, opt)
+}
+
+// restoreSession rewinds the session machine to its post-calibration
+// checkpoint (the restore phase of every non-cloud job).
+func restoreSession(sess *session) error {
+	if err := sess.p.Restore(sess.state); err != nil {
+		return fmt.Errorf("%w: %w", ErrSessionCorrupt, err)
+	}
+	return nil
+}
+
+// executeKind dispatches one restored session to its attack body.
+func executeKind(sess *session, spec JobSpec, opt core.Options) (*Result, error) {
+	p := sess.p
 	p.Opt.Workers = opt.Workers
 	p.Opt.Pool = opt.Pool
 	preset := p.M.Preset

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Failure sentinels of the self-healing scheduler. Every failed job's error
@@ -110,6 +111,11 @@ type attemptEnv struct {
 	// attempt; without one, injected stalls fail fast instead of blocking
 	// on a stop signal nothing would ever send.
 	watchdog bool
+	// span is this attempt's trace span (nil unless the job is sampled —
+	// every use is a nil-safe call) and met the scheduler's metrics plane;
+	// both ride the env so the exec path needs no extra plumbing.
+	span *obs.Span
+	met  *metricsPlane
 }
 
 // hook adapts the attempt's fault plan to the machine.FaultHook contract,

@@ -3,9 +3,14 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // MaxWaitPoll bounds the GET /jobs/{id}?wait= long-poll: longer waits are
@@ -20,6 +25,12 @@ const MaxWaitPoll = 30 * time.Second
 //	                 job finishes or the (capped) wait elapses — the
 //	                 response is the job's state either way
 //	GET  /stats      aggregate service stats
+//	GET  /metrics    Prometheus text exposition (counters, gauges,
+//	                 per-kind/per-defense/per-site labels, stage and
+//	                 latency histograms)
+//	GET  /jobs/{id}/trace  sampled lifecycle trace: JSON span tree, or an
+//	                 ASCII timeline with ?format=ascii (404 when the job
+//	                 was unsampled or its trace was evicted)
 //	POST /drain      stop accepting, run the queue dry (async) → 202
 //	GET  /healthz    liveness
 //
@@ -80,8 +91,32 @@ func NewHandler(s *Scheduler) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, snap)
 	})
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad job id")
+			return
+		}
+		tr, ok := s.Trace(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no trace for job (tracing off, job unsampled, or trace evicted)")
+			return
+		}
+		root := tr.Snapshot()
+		if r.URL.Query().Get("format") == "ascii" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			rows := timelineRows(root, 0, nil)
+			_, _ = io.WriteString(w, trace.RenderTimeline(fmt.Sprintf("job %d lifecycle", id), rows, 60))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"job_id": id, "trace": root})
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Metrics().WritePrometheus(w)
 	})
 	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
 		go s.Drain()
@@ -111,6 +146,24 @@ func parseWait(s string) (time.Duration, error) {
 		d = MaxWaitPoll
 	}
 	return d, nil
+}
+
+// timelineRows flattens a span tree depth-first into the ASCII timeline's
+// row form (label = span name, bar = the span's wall-clock interval).
+func timelineRows(sp *obs.Span, depth int, rows []trace.TimelineRow) []trace.TimelineRow {
+	if sp == nil {
+		return rows
+	}
+	rows = append(rows, trace.TimelineRow{
+		Label:   sp.Name,
+		Depth:   depth,
+		StartNs: sp.StartNs,
+		EndNs:   sp.EndNs,
+	})
+	for _, c := range sp.Children {
+		rows = timelineRows(c, depth+1, rows)
+	}
+	return rows
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/linux"
+	"repro/internal/obs"
 	"repro/internal/uarch"
 )
 
@@ -506,6 +507,12 @@ type Job struct {
 	Finished  time.Time `json:"finished,omitzero"`
 
 	done chan struct{}
+	// trace is the job's lifecycle span tree (nil unless the scheduler's
+	// recorder sampled this job); qspan is its open queue-wait span, ended
+	// when an executor picks the job up. Both are nil-safe no-ops when
+	// tracing is off — instrumentation never alters job behaviour.
+	trace *obs.Trace
+	qspan *obs.Span
 }
 
 // Done returns a channel closed when the job completes (done or failed).

@@ -104,6 +104,9 @@ type LoadReport struct {
 	// finish).
 	WaitTimeouts int   `json:"wait_timeouts,omitempty"`
 	Stats        Stats `json:"stats"`
+	// KindLatency breaks the run's end-to-end latency down per job kind
+	// (bucketed p50/p99 from the store's per-kind histograms).
+	KindLatency map[Kind]KindLatency `json:"kind_latency,omitempty"`
 }
 
 // RunLoad hammers the scheduler with cfg.Jobs submissions drawn from the
@@ -205,6 +208,7 @@ func RunLoad(s *Scheduler, cfg LoadConfig) LoadReport {
 		SubmitErrors: subErrors,
 		WaitTimeouts: waitTimeouts,
 		Stats:        s.Stats(),
+		KindLatency:  s.Store().KindLatencies(),
 	}
 }
 
@@ -229,24 +233,35 @@ type benchBenchmark struct {
 	SimSec     float64 `json:"sim_attacker_s"`
 	Sessions   int     `json:"sessions"`
 	CalReused  int     `json:"calibrations_reused"`
+	// KindLatencyMs is the per-kind p50/p99 breakdown of the run (load
+	// entries only), keyed by kind name.
+	KindLatencyMs map[string]KindLatency `json:"kind_latency_ms,omitempty"`
 }
 
 // AppendBench appends the load report as one BENCH_scan.json entry.
 func AppendBench(path string, r LoadReport) error {
+	var kindLat map[string]KindLatency
+	if len(r.KindLatency) > 0 {
+		kindLat = make(map[string]KindLatency, len(r.KindLatency))
+		for k, v := range r.KindLatency {
+			kindLat[string(k)] = v
+		}
+	}
 	e := benchEntry{
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		Pattern:    "scand-load",
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Benchmarks: []benchBenchmark{{
-			Name:       fmt.Sprintf("LoadMixed/jobs=%d/conc=%d", r.Jobs, r.Concurrency),
-			Iterations: r.Jobs,
-			JobsPerSec: r.Stats.JobsPerSec,
-			P50Ms:      r.Stats.P50Ms,
-			P99Ms:      r.Stats.P99Ms,
-			SimSec:     r.Stats.SimAttackerSec,
-			Sessions:   r.Stats.Sessions,
-			CalReused:  r.Stats.CalibrationsReused,
+			Name:          fmt.Sprintf("LoadMixed/jobs=%d/conc=%d", r.Jobs, r.Concurrency),
+			Iterations:    r.Jobs,
+			JobsPerSec:    r.Stats.JobsPerSec,
+			P50Ms:         r.Stats.P50Ms,
+			P99Ms:         r.Stats.P99Ms,
+			SimSec:        r.Stats.SimAttackerSec,
+			Sessions:      r.Stats.Sessions,
+			CalReused:     r.Stats.CalibrationsReused,
+			KindLatencyMs: kindLat,
 		}},
 	}
 	line, err := json.Marshal(e)

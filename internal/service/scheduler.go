@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Submission errors.
@@ -67,6 +69,15 @@ type Config struct {
 	// Fault configures deterministic fault injection (zero = disabled, the
 	// production state: every hook degenerates to a nil test).
 	Fault fault.Config
+	// TraceSample enables per-job lifecycle tracing: every job whose ID is
+	// a multiple of TraceSample gets a span tree (1 = every job). 0
+	// disables tracing — the recorder is nil and the whole instrumented
+	// path degenerates to one nil test per stage, the injector idiom.
+	// Sampling on the job ID keeps the traced set deterministic.
+	TraceSample int
+	// TraceBuffer bounds the retained-trace ring (0 = obs.DefaultTraceBuffer,
+	// 256). Oldest traces are evicted first.
+	TraceBuffer int
 }
 
 // DefaultJobDeadline is the per-attempt watchdog deadline when
@@ -118,6 +129,10 @@ type Scheduler struct {
 	cache *sessionCache
 	store *Store
 	inj   *fault.Injector
+	// rec samples per-job lifecycle traces (nil when TraceSample is 0 —
+	// the disabled state); met is the always-on metrics plane.
+	rec *obs.Recorder
+	met *metricsPlane
 
 	queue  chan *Job
 	nextID atomic.Uint64
@@ -139,12 +154,17 @@ func New(cfg Config) *Scheduler {
 		cache:   newSessionCache(cfg.MaxIdleSessions),
 		store:   NewBoundedStore(cfg.Store),
 		inj:     fault.New(cfg.Fault),
+		rec:     obs.NewRecorder(cfg.TraceSample, cfg.TraceBuffer),
 		queue:   make(chan *Job, cfg.QueueDepth),
 		drainCh: make(chan struct{}),
 	}
 	if !cfg.FreshWorkers {
 		s.pool = core.NewScanPool()
 	}
+	// The metrics plane registers scrape-time views over the subsystems
+	// built above, so it must come last — and before the executors start,
+	// so no job ever runs without its stage histograms.
+	s.met = newMetricsPlane(s)
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor()
@@ -158,6 +178,15 @@ func (s *Scheduler) Store() *Store { return s.store }
 
 // Config returns the scheduler's normalized configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
+
+// Metrics exposes the scheduler's metric registry (the GET /metrics
+// surface; also scrapeable in-process).
+func (s *Scheduler) Metrics() *obs.Registry { return s.met.reg }
+
+// Trace returns a sampled job's lifecycle trace, if the recorder still
+// retains it (false when tracing is off, the job was unsampled, or the
+// ring evicted it).
+func (s *Scheduler) Trace(id uint64) (*obs.Trace, bool) { return s.rec.Get(id) }
 
 // scanOptions returns the per-job core options the scheduler's
 // configuration implies.
@@ -179,10 +208,18 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		Submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	if s.rec != nil {
+		// Trace and queue span must exist before the job can reach an
+		// executor (the channel send publishes them); the attrs are pure
+		// functions of the spec, so sampled traces are deterministic.
+		j.trace = s.rec.Start(j.ID, traceAttrs(norm)...)
+		j.qspan = j.trace.Root().Child("queue")
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		s.store.reject()
+		sealRejected(j, "draining")
 		return nil, ErrDraining
 	}
 	if w := s.cfg.ShedWatermark; w > 0 && len(s.queue) >= w {
@@ -191,6 +228,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		// back off (HTTP maps this to 429 + Retry-After).
 		s.mu.Unlock()
 		s.store.shed()
+		sealRejected(j, "shed")
 		return nil, ErrOverloaded
 	}
 	select {
@@ -198,6 +236,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	default:
 		s.mu.Unlock()
 		s.store.reject()
+		sealRejected(j, "queue-full")
 		return nil, ErrQueueFull
 	}
 	// Registered after a successful enqueue, inside the lock so Drain
@@ -272,9 +311,16 @@ func (s *Scheduler) executor() {
 // watchdog, transient failures retry with capped exponential backoff up to
 // Config.MaxAttempts, permanent failures (and drains) are final on sight.
 // Every path ends in exactly one store completion — a job never leaks in
-// StatusRunning.
+// StatusRunning. The trace (when sampled) is sealed *before* the store
+// completion closes the job's done channel, so a reader woken by Done or
+// the HTTP long-poll never sees a half-built span tree.
 func (s *Scheduler) runJob(j *Job) {
 	s.store.markRunning(j)
+	j.qspan.End()
+	if wait := j.Started.Sub(j.Submitted); wait > 0 {
+		s.met.queueWait.Observe(uint64(wait))
+	}
+	root := j.trace.Root()
 	key := j.Spec.faultKey()
 	opt := s.scanOptions()
 	if j.Spec.ScanWorkers != nil {
@@ -288,22 +334,88 @@ func (s *Scheduler) runJob(j *Job) {
 	attempt := 0
 	for {
 		attempt++
-		res, err = s.attempt(j, key, attempt, opt)
+		asp := root.Child("attempt")
+		asp.Annotate("attempt", strconv.Itoa(attempt))
+		res, err = s.attempt(j, key, attempt, opt, asp)
+		if err != nil {
+			annotateFailure(asp, err)
+		}
+		asp.End()
 		if err == nil || Classify(err) == ClassPermanent || attempt >= s.cfg.MaxAttempts {
 			break
 		}
 		s.store.retry()
+		bsp := root.Child("backoff")
 		if !s.backoff(attempt) {
 			// Draining: abandon the retry schedule; the job fails with its
 			// last classified error rather than outliving the drain.
+			bsp.Annotate("aborted", "drain")
+			bsp.End()
 			err = fmt.Errorf("service: retries abandoned by drain: %w", err)
 			break
 		}
+		bsp.End()
 	}
 	if res != nil && attempt > 1 {
 		res.Retries = attempt - 1
 	}
+	if root != nil {
+		if err != nil {
+			root.Annotate("status", string(StatusFailed))
+			root.Annotate("class", string(Classify(err)))
+		} else {
+			root.Annotate("status", string(StatusDone))
+			root.SetSim(res.TotalSimSec)
+		}
+		root.Annotate("attempts", strconv.Itoa(attempt))
+		root.End()
+	}
 	s.store.completeAttempts(j, res, err, attempt)
+}
+
+// traceAttrs builds the root span's annotations from the normalized spec:
+// only spec-derived (deterministic) values, never host state.
+func traceAttrs(spec JobSpec) []obs.Attr {
+	attrs := []obs.Attr{
+		obs.A("kind", string(spec.Kind)),
+		obs.A("seed", strconv.FormatUint(spec.Seed, 10)),
+	}
+	if spec.CPU != "" {
+		attrs = append(attrs, obs.A("cpu", spec.CPU))
+	}
+	if spec.Defense != "" {
+		attrs = append(attrs, obs.A("defense", spec.Defense))
+	}
+	if spec.Provider != "" {
+		attrs = append(attrs, obs.A("provider", spec.Provider))
+	}
+	return attrs
+}
+
+// sealRejected closes a rejected submission's trace so the ring never
+// retains an eternally open span tree. Nil-safe (no-op when unsampled).
+func sealRejected(j *Job, reason string) {
+	j.qspan.End()
+	root := j.trace.Root()
+	root.Annotate("status", "rejected")
+	root.Annotate("reason", reason)
+	root.End()
+}
+
+// annotateFailure records a failed attempt's deterministic failure facts:
+// the error string (injected faults stringify as pure functions of their
+// site/key/attempt), the retry class, and the fault site when the chain
+// carries an injected fault.
+func annotateFailure(sp *obs.Span, err error) {
+	if sp == nil {
+		return
+	}
+	sp.Annotate("error", err.Error())
+	sp.Annotate("class", string(Classify(err)))
+	var f *fault.Fault
+	if errors.As(err, &f) {
+		sp.Annotate("fault", f.Site.String())
+	}
 }
 
 // backoff sleeps the capped exponential backoff before retry `attempt+1`,
@@ -330,12 +442,14 @@ func (s *Scheduler) backoff(attempt int) bool {
 // body self-terminates, quarantines its session and exits instead of
 // leaking. The done channel is buffered so a late body never blocks on a
 // watchdog that already returned.
-func (s *Scheduler) attempt(j *Job, key uint64, attempt int, opt core.Options) (*Result, error) {
+func (s *Scheduler) attempt(j *Job, key uint64, attempt int, opt core.Options, sp *obs.Span) (*Result, error) {
 	env := &attemptEnv{
 		plan:     s.inj.Plan(key, attempt),
 		stop:     make(chan struct{}),
 		drain:    s.drainCh,
 		watchdog: s.cfg.JobDeadline > 0,
+		span:     sp,
+		met:      s.met,
 	}
 	type outcome struct {
 		res *Result
@@ -366,6 +480,7 @@ func (s *Scheduler) attempt(j *Job, key uint64, attempt int, opt core.Options) (
 		return out.res, out.err
 	case <-watchdog.C:
 		close(env.stop)
+		sp.Annotate("watchdog", "fired")
 		return nil, fmt.Errorf("%w (after %v, attempt %d)", ErrJobDeadline, s.cfg.JobDeadline, attempt)
 	}
 }
@@ -382,24 +497,47 @@ func (s *Scheduler) attempt(j *Job, key uint64, attempt int, opt core.Options) (
 func (s *Scheduler) attemptBody(j *Job, opt core.Options, env *attemptEnv) (res *Result, err error) {
 	var sess *session
 	if j.Spec.Kind != KindCloud {
+		acq := env.span.Child("acquire")
+		t0 := time.Now()
 		var reused bool
 		sess, reused, err = s.cache.acquireHook(j.Spec, env.hook())
+		s.met.acquire.Observe(uint64(time.Since(t0)))
 		if err != nil {
+			annotateFailure(acq, err)
+			acq.End()
 			return nil, err
 		}
+		if reused {
+			acq.Annotate("session", "reused")
+		} else {
+			acq.Annotate("session", "built")
+			if sess.cachedCal {
+				acq.Annotate("calibration", "replayed")
+			} else {
+				acq.Annotate("calibration", "calibrated")
+			}
+		}
+		acq.End()
 		s.store.setProvenance(j, reused, sess.cachedCal)
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("%w: %v", ErrPanicked, r)
+			if sess != nil {
+				env.span.Annotate("quarantine", "panic")
+			}
 			s.cache.quarantine(sess)
 		} else if err != nil && errors.Is(err, ErrSessionCorrupt) {
+			env.span.Annotate("quarantine", "corrupt")
 			s.cache.quarantine(sess)
 		} else {
 			select {
 			case <-env.stop:
 				// The watchdog already failed this attempt: the session's
 				// state is that of an abandoned job, not a finished one.
+				if sess != nil {
+					env.span.Annotate("quarantine", "abandoned")
+				}
 				s.cache.quarantine(sess)
 			default:
 			}

@@ -1,16 +1,11 @@
 package service
 
 import (
-	"sort"
 	"sync"
 	"time"
-)
 
-// latencyWindow bounds the latency history the quantiles cover: a ring of
-// the most recent completions, so a long-running daemon neither grows the
-// history without bound nor sorts an ever-longer slice under the store
-// lock on every /stats poll.
-const latencyWindow = 4096
+	"repro/internal/obs"
+)
 
 // DefaultStoreMaxJobs is the default retention bound: a long-lived scand
 // keeps at most this many finished jobs queryable (aggregate stats are
@@ -51,12 +46,21 @@ type Store struct {
 	finished  []uint64
 	evicted   int
 	submitted int
-	// latencies rings the last latencyWindow finished jobs' end-to-end
-	// host latencies (submit → finish); latNext is the overwrite cursor
-	// once the ring is full.
-	latencies []time.Duration
-	latNext   int
-	firstSub  time.Time
+	// lat and kindLat accumulate end-to-end host latencies (submit →
+	// finish) in fixed-bucket histograms: observation is one atomic add
+	// under the lock already held, quantiles are O(buckets) regardless of
+	// job count, and — unlike the job map — they are never evicted, so the
+	// quantiles cover the store's whole lifetime. kindLat is pre-populated
+	// for every kind at construction, so the complete path never allocates
+	// a map entry.
+	lat     *obs.Histogram
+	kindLat map[Kind]*obs.Histogram
+	// kindDone / defenseDone count finished jobs per kind and completed
+	// defense evaluations per defense — the label dimensions /metrics
+	// exports.
+	kindDone    map[Kind]uint64
+	defenseDone map[string]uint64
+	firstSub    time.Time
 	lastDone  time.Time
 	completed int
 	failed    int
@@ -75,11 +79,19 @@ func NewStore() *Store { return NewBoundedStore(StoreConfig{}) }
 
 // NewBoundedStore creates an empty store with explicit retention bounds.
 func NewBoundedStore(cfg StoreConfig) *Store {
-	return &Store{
-		cfg:  cfg.withDefaults(),
-		jobs: make(map[uint64]*Job),
-		subs: make(map[int]chan *Job),
+	st := &Store{
+		cfg:         cfg.withDefaults(),
+		jobs:        make(map[uint64]*Job),
+		subs:        make(map[int]chan *Job),
+		lat:         &obs.Histogram{},
+		kindLat:     make(map[Kind]*obs.Histogram, len(Kinds())),
+		kindDone:    make(map[Kind]uint64, len(Kinds())),
+		defenseDone: make(map[string]uint64, len(Defenses())),
 	}
+	for _, k := range Kinds() {
+		st.kindLat[k] = &obs.Histogram{}
+	}
+	return st
 }
 
 // add registers a freshly submitted job.
@@ -192,11 +204,15 @@ func (st *Store) completeAttempts(j *Job, res *Result, err error, attempts int) 
 		}
 		st.simSec += res.TotalSimSec
 	}
-	if lat := j.Finished.Sub(j.Submitted); len(st.latencies) < latencyWindow {
-		st.latencies = append(st.latencies, lat)
-	} else {
-		st.latencies[st.latNext] = lat
-		st.latNext = (st.latNext + 1) % latencyWindow
+	if lat := j.Finished.Sub(j.Submitted); lat > 0 {
+		st.lat.Observe(uint64(lat))
+		if h := st.kindLat[j.Spec.Kind]; h != nil {
+			h.Observe(uint64(lat))
+		}
+	}
+	st.kindDone[j.Spec.Kind]++
+	if j.Spec.Kind == KindDefenseEval && err == nil {
+		st.defenseDone[j.Spec.Defense]++
 	}
 	if j.Finished.After(st.lastDone) {
 		st.lastDone = j.Finished
@@ -294,10 +310,13 @@ type Stats struct {
 	FaultsInjected uint64 `json:"faults_injected,omitempty"`
 }
 
-// Stats computes the current aggregates. The latency quantiles cover the
-// last latencyWindow completions; the (bounded) copy is taken under the
-// lock, the sort happens outside it so stats polling never stalls the
-// executors' complete path.
+// Stats computes the current aggregates. The latency quantiles come from
+// the store's fixed-bucket histogram — an O(buckets) walk over atomic
+// counters, outside the lock, independent of how many jobs ever finished
+// and unaffected by finished-job eviction — so stats polling never stalls
+// the executors' complete path. Quantiles are bucketed: the reported value
+// is the upper bound of the bucket holding the rank (≤ ~12.5% above the
+// exact order statistic).
 func (st *Store) Stats() Stats {
 	st.mu.Lock()
 	st.evictLocked(time.Now())
@@ -320,22 +339,64 @@ func (st *Store) Stats() Stats {
 	if finished > 0 && st.lastDone.After(st.firstSub) {
 		s.JobsPerSec = float64(finished) / st.lastDone.Sub(st.firstSub).Seconds()
 	}
-	sorted := append([]time.Duration(nil), st.latencies...)
 	st.mu.Unlock()
 
-	if len(sorted) > 0 {
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		s.P50Ms = quantile(sorted, 0.50).Seconds() * 1e3
-		s.P99Ms = quantile(sorted, 0.99).Seconds() * 1e3
-	}
+	s.P50Ms = float64(st.lat.Quantile(0.50)) / 1e6
+	s.P99Ms = float64(st.lat.Quantile(0.99)) / 1e6
 	return s
 }
 
-// quantile returns the nearest-rank quantile of a sorted sample.
-func quantile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
+// KindLatency is one kind's end-to-end latency summary.
+type KindLatency struct {
+	Jobs  uint64  `json:"jobs"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// KindLatencies returns the per-kind latency breakdown for every kind that
+// finished at least one job (the `scand -load` report's per-kind rows).
+func (st *Store) KindLatencies() map[Kind]KindLatency {
+	out := make(map[Kind]KindLatency)
+	for k, h := range st.kindLat {
+		if n := h.Count(); n > 0 {
+			out[k] = KindLatency{
+				Jobs:  n,
+				P50Ms: float64(h.Quantile(0.50)) / 1e6,
+				P99Ms: float64(h.Quantile(0.99)) / 1e6,
+			}
+		}
 	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
+	return out
+}
+
+// latencyHistogram exposes the store's all-time latency histogram for
+// registration in the metrics plane (shared ownership: the store keeps
+// observing, the registry reads at scrape time).
+func (st *Store) latencyHistogram() *obs.Histogram { return st.lat }
+
+// kindLatencyHistogram exposes one kind's latency histogram (nil-free:
+// every kind is pre-populated at construction).
+func (st *Store) kindLatencyHistogram(k Kind) *obs.Histogram { return st.kindLat[k] }
+
+// kindFinished returns how many jobs of kind k reached a terminal state.
+func (st *Store) kindFinished(k Kind) uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.kindDone[k]
+}
+
+// defenseCompleted returns how many defense evaluations of d completed.
+func (st *Store) defenseCompleted(d string) uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.defenseDone[d]
+}
+
+// counterView adapts one store counter into a scrape-time metrics view.
+func (st *Store) counterView(read func(*Store) int) func() float64 {
+	return func() float64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return float64(read(st))
+	}
 }

@@ -181,6 +181,82 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
+// TimelineRow is one bar of a span timeline: a labelled [StartNs, EndNs)
+// interval at a tree depth. Rows come pre-ordered (depth-first over the
+// span tree); the renderer only scales them onto a shared axis.
+type TimelineRow struct {
+	Label   string
+	Depth   int
+	StartNs int64
+	EndNs   int64
+}
+
+// RenderTimeline draws rows as an ASCII Gantt chart: one line per row,
+// label indented by depth, bar positioned on a shared 0..max(EndNs) axis
+// of the given width (default 60 columns). Unclosed spans (EndNs 0) are
+// drawn open-ended.
+func RenderTimeline(title string, rows []TimelineRow, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(rows) == 0 {
+		b.WriteString("(no spans)\n")
+		return b.String()
+	}
+	var maxNs int64
+	labelW := 0
+	for _, r := range rows {
+		if r.EndNs > maxNs {
+			maxNs = r.EndNs
+		}
+		if r.StartNs > maxNs {
+			maxNs = r.StartNs
+		}
+		if lw := 2*r.Depth + len(r.Label); lw > labelW {
+			labelW = lw
+		}
+	}
+	if maxNs == 0 {
+		maxNs = 1
+	}
+	col := func(ns int64) int {
+		c := int(float64(ns) / float64(maxNs) * float64(width-1))
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+	for _, r := range rows {
+		label := strings.Repeat("  ", r.Depth) + r.Label
+		bar := []byte(strings.Repeat(" ", width))
+		start := col(r.StartNs)
+		end, open := width-1, true
+		if r.EndNs > 0 {
+			end, open = col(r.EndNs), false
+		}
+		for c := start; c <= end; c++ {
+			bar[c] = '='
+		}
+		bar[start] = '|'
+		if open {
+			bar[width-1] = '>'
+		} else if end > start {
+			bar[end] = '|'
+		}
+		dur := "..."
+		if !open {
+			dur = fmt.Sprintf("%.3fms", float64(r.EndNs-r.StartNs)/1e6)
+		}
+		fmt.Fprintf(&b, "%-*s %s %s\n", labelW, label, string(bar), dur)
+	}
+	fmt.Fprintf(&b, "%-*s 0%*s\n", labelW, "", width+7, fmt.Sprintf("%.3fms", float64(maxNs)/1e6))
+	return b.String()
+}
+
 // SortSeriesByX orders a series by ascending X (in place).
 func SortSeriesByX(s *Series) {
 	idx := make([]int, s.Len())

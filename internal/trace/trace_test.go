@@ -86,6 +86,44 @@ func TestTableAlignment(t *testing.T) {
 	}
 }
 
+func TestRenderTimeline(t *testing.T) {
+	rows := []TimelineRow{
+		{Label: "job", Depth: 0, StartNs: 0, EndNs: 4_000_000},
+		{Label: "queue", Depth: 1, StartNs: 0, EndNs: 1_000_000},
+		{Label: "attempt", Depth: 1, StartNs: 1_000_000, EndNs: 4_000_000},
+		{Label: "execute", Depth: 2, StartNs: 1_500_000, EndNs: 3_900_000},
+	}
+	out := RenderTimeline("job 42", rows, 40)
+	if !strings.Contains(out, "job 42") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + 4 rows + axis
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "  attempt") {
+		t.Fatalf("depth indent missing: %q", lines[3])
+	}
+	if !strings.Contains(lines[1], "4.000ms") || !strings.Contains(lines[2], "1.000ms") {
+		t.Fatalf("durations missing:\n%s", out)
+	}
+	// Child bars start no earlier than the root's origin column.
+	if strings.Index(lines[4], "|") <= strings.Index(lines[1], "|") {
+		t.Fatalf("execute bar not offset:\n%s", out)
+	}
+}
+
+func TestRenderTimelineEdgeCases(t *testing.T) {
+	if out := RenderTimeline("t", nil, 40); !strings.Contains(out, "(no spans)") {
+		t.Fatalf("empty timeline: %q", out)
+	}
+	// Unclosed span renders open-ended instead of panicking.
+	out := RenderTimeline("t", []TimelineRow{{Label: "hung", StartNs: 100}}, 40)
+	if !strings.Contains(out, ">") || !strings.Contains(out, "...") {
+		t.Fatalf("open span not rendered open-ended:\n%s", out)
+	}
+}
+
 func TestSortSeriesByX(t *testing.T) {
 	s := &Series{Name: "s"}
 	s.Add(3, 30)

@@ -2,8 +2,9 @@
 # bench_compare.sh [file] — diff the latest entry of BENCH_scan.json
 # (newline-delimited JSON, one object per bench.sh run) against the most
 # recent PREVIOUS entry recorded on the same host shape (matching num_cpu
-# AND gomaxprocs), per benchmark, and warn when probes/s dropped by more
-# than 10%.
+# AND gomaxprocs), per benchmark, and warn when any throughput rate —
+# probes/s (probe benchmarks), jobs/s (service/load benchmarks), or
+# ticks/s (temporal benchmarks) — dropped by more than 10%.
 #
 # Since bench.sh records one entry per GOMAXPROCS level of its scaling
 # matrix, comparing the raw last two entries would diff a multi-core row
@@ -53,6 +54,10 @@ function field(s, key,    re, v) {
     gsub(/"/, "", v)
     return v
 }
+# Every throughput rate the trajectory file records: probe benchmarks
+# report probes/s, service and load benchmarks jobs/s, temporal
+# benchmarks ticks/s. Each is compared independently per benchmark name.
+BEGIN { metrics[1] = "probes/s"; metrics[2] = "jobs/s"; metrics[3] = "ticks/s"; nmetrics = 3 }
 {
     line[NR] = $0
     n = split($0, parts, /\{"name":/)
@@ -61,8 +66,10 @@ function field(s, key,    re, v) {
         name = obj
         sub(/^"/, "", name)
         sub(/".*/, "", name) # cut at the closing quote of the name
-        val = field(obj, "probes/s")
-        if (val != "") rate[NR, name] = val
+        for (k = 1; k <= nmetrics; k++) {
+            val = field(obj, metrics[k])
+            if (val != "") rate[NR, metrics[k], name] = val
+        }
         ns = field(obj, "ns/op")
         if (ns != "") nsop[NR, name] = ns
         if (NR == 2) names[name] = 1
@@ -76,27 +83,31 @@ END {
     worst = 0
     compared = 0
     for (name in names) {
-        if (!((1, name) in rate) || rate[1, name] == 0) continue
-        old = rate[1, name]; new = rate[2, name]
-        pct = 100 * (new - old) / old
-        mark = ""
-        if (pct < -10) { mark = "  <-- REGRESSION"; bad++ }
-        if (pct < worst) worst = pct
-        compared++
-        printf "  %-40s %12.0f -> %12.0f probes/s  (%+6.1f%%)%s\n", name, old, new, pct, mark
+        for (k = 1; k <= nmetrics; k++) {
+            metric = metrics[k]
+            if (!((1, metric, name) in rate) || rate[1, metric, name] == 0) continue
+            if (!((2, metric, name) in rate)) continue
+            old = rate[1, metric, name]; new = rate[2, metric, name]
+            pct = 100 * (new - old) / old
+            mark = ""
+            if (pct < -10) { mark = "  <-- REGRESSION"; bad++ }
+            if (pct < worst) worst = pct
+            compared++
+            printf "  %-40s %12.0f -> %12.0f %-8s (%+6.1f%%)%s\n", name, old, new, metric, pct, mark
+        }
     }
     if (compared == 0) {
         # Disjoint benchmark sets: e.g. a scand-load throughput entry next
         # to a probe-bench entry. Nothing comparable is not a regression.
-        print "bench_compare: the last two runs share no probes/s benchmarks (disjoint sets) — nothing to compare"
+        print "bench_compare: the last two runs share no throughput benchmarks (disjoint sets) — nothing to compare"
         exit 0
     }
     if (bad > 0) {
-        printf "bench_compare: %d benchmark(s) regressed >10%% in probes/s (worst %.1f%%)\n", bad, worst
+        printf "bench_compare: %d rate(s) regressed >10%% across probes/s, jobs/s, ticks/s (worst %.1f%%)\n", bad, worst
         if (cpu[1] != cpu[2])
             printf "bench_compare: note: core count changed (%s -> %s); host change, not code?\n", cpu[1], cpu[2]
         if (strict == 1) exit 1
     } else {
-        print "bench_compare: no probes/s regression >10%"
+        print "bench_compare: no throughput regression >10% (probes/s, jobs/s, ticks/s)"
     }
 }'
