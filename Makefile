@@ -6,7 +6,8 @@
 #                    replica-state leaks between pooled/concurrent scans
 #                    and scheduler races in the service layer)
 #   make ci        - what CI runs: vet + tier-1 + the race-parity suite +
-#                    the GOMAXPROCS=2 tier (ci-smp) + the chaos tier
+#                    the GOMAXPROCS=2 tier (ci-smp) + the chaos tier +
+#                    the observability tier + the cluster tier
 #   make ci-smp    - re-run the build and the temporal/engine suites with
 #                    GOMAXPROCS=2 (temporal suite under -race): single-core
 #                    CI containers otherwise never execute the sharded
@@ -18,6 +19,13 @@
 #                    produce identical retry/quarantine traces, drains must
 #                    win races against stalls and backoffs, and nothing may
 #                    leak a goroutine
+#   make ci-cluster - the cluster-mode gate under -race with GOMAXPROCS=2:
+#                    ring determinism and bounded remap, N=4 cluster parity
+#                    with the single-scheduler path (every kind, stateful
+#                    sessions included), the zipfian affinity win over
+#                    shuffled round-robin, router partial-failure isolation
+#                    with per-instance fault seeds, and the stats/metrics
+#                    rollup invariants
 #   make ci-obs    - the observability gate under -race with GOMAXPROCS=2:
 #                    the obs metrics/span suites, the timeline renderer,
 #                    the service metrics/trace endpoints, span-tree
@@ -35,7 +43,10 @@
 #                    num_cpu before blaming the code)
 #   make load      - run the scand load generator (mixed attack scenarios
 #                    through the service scheduler) and append a jobs/s +
-#                    p50/p99 latency entry to BENCH_scan.json
+#                    p50/p99 latency entry to BENCH_scan.json, then repeat
+#                    through a 4-instance hash-routed cluster on the zipfian
+#                    victim skew (the LoadCluster row: session_hit_rate is
+#                    the affinity metric bench_compare watches)
 #   make load-smoke - a short scand -load pass (mixed workload incl. the
 #                    stateful behaviorspy/appfingerprint kinds, nothing
 #                    recorded) — the CI smoke that the whole service stack
@@ -43,11 +54,11 @@
 
 GO ?= go
 
-.PHONY: all vet test test-race ci ci-smp ci-chaos ci-obs bench bench-all bench-compare load load-smoke
+.PHONY: all vet test test-race ci ci-smp ci-chaos ci-obs ci-cluster bench bench-all bench-compare load load-smoke
 
 all: vet test
 
-ci: vet test test-race ci-smp ci-chaos ci-obs load-smoke bench-compare
+ci: vet test test-race ci-smp ci-chaos ci-obs ci-cluster load-smoke bench-compare
 
 # -count=1: the test cache does not key on GOMAXPROCS, so without it this
 # tier would silently reuse the single-P results.
@@ -64,6 +75,15 @@ ci-smp:
 ci-chaos:
 	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/fault
 	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Chaos|Fault|Panic|Deadline|Retry|Drain|Quarantine|WaitCtx|Shed|Wait' ./internal/service
+
+# The cluster gate: placement must be deterministic and bounded (ring
+# suite), results must be placement-independent (N=4 parity with the
+# single-scheduler path, stateful windows included), affinity must beat
+# the shuffled baseline on the zipfian skew, one faulty instance must
+# never degrade the others, and the rollup must account exactly — all
+# under -race with two Ps so router, executors and scrapes preempt.
+ci-cluster:
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'Ring|Cluster|Zipfian' ./internal/service
 
 # The observability gate: instrumentation must be deterministic (identical
 # seeds => byte-identical canonical span trees, even under chaos), correct
@@ -97,6 +117,7 @@ bench-compare:
 
 load:
 	$(GO) run ./cmd/scand -load -scan-workers 2
+	$(GO) run ./cmd/scand -load -scan-workers 2 -cluster 4 -load-dist zipfian
 
 load-smoke:
 	$(GO) run ./cmd/scand -load -jobs 30 -concurrency 6 -victims 5 -scan-workers 2 -bench-out ''

@@ -18,6 +18,20 @@ import (
 // bounded response and re-polls.
 const MaxWaitPoll = 30 * time.Second
 
+// api is the surface the HTTP layer serves. Both *Scheduler and *Cluster
+// implement it, so daemon mode and cluster mode share one handler: same
+// routes, same status codes, same payload shapes — the only difference is
+// what /stats and /metrics aggregate over.
+type api interface {
+	Submit(spec JobSpec) (*Job, error)
+	JobSnapshot(id uint64) (Job, bool)
+	JobDone(id uint64) (<-chan struct{}, bool)
+	Trace(id uint64) (*obs.Trace, bool)
+	Metrics() *obs.Registry
+	statsPayload() any
+	Drain()
+}
+
 // NewHandler exposes a scheduler over HTTP — the scand daemon's API:
 //
 //	POST /jobs       submit a JobSpec (JSON body) → 202 {"id": N}
@@ -37,7 +51,17 @@ const MaxWaitPoll = 30 * time.Second
 // Rejections map to HTTP backpressure codes: 429 + Retry-After on a full
 // queue or when admission control sheds (ShedWatermark), 503 while
 // draining.
-func NewHandler(s *Scheduler) http.Handler {
+func NewHandler(s *Scheduler) http.Handler { return newAPIHandler(s) }
+
+// NewClusterHandler serves the same API over a Cluster: submissions are
+// consistent-hash routed to the owning instance, /jobs/{id} and trace
+// lookups follow the id→instance mapping, /stats returns the ClusterStats
+// rollup (merged aggregate + per-instance rows), and /metrics is the
+// instance-labeled cluster registry. Clients cannot tell a cluster from a
+// single scheduler except by reading those richer payloads.
+func NewClusterHandler(c *Cluster) http.Handler { return newAPIHandler(c) }
+
+func newAPIHandler(s api) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
@@ -74,17 +98,17 @@ func NewHandler(s *Scheduler) http.Handler {
 				httpError(w, http.StatusBadRequest, "bad wait: "+err.Error())
 				return
 			}
-			if j, ok := s.Store().Get(id); ok && d > 0 {
+			if done, ok := s.JobDone(id); ok && d > 0 {
 				t := time.NewTimer(d)
 				select {
-				case <-j.Done():
+				case <-done:
 				case <-t.C:
 				case <-r.Context().Done():
 				}
 				t.Stop()
 			}
 		}
-		snap, ok := s.Store().Snapshot(id)
+		snap, ok := s.JobSnapshot(id)
 		if !ok {
 			httpError(w, http.StatusNotFound, "no such job")
 			return
@@ -112,7 +136,7 @@ func NewHandler(s *Scheduler) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"job_id": id, "trace": root})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
+		writeJSON(w, http.StatusOK, s.statsPayload())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

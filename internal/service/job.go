@@ -369,6 +369,20 @@ func (s JobSpec) victimKey() string {
 	}
 }
 
+// routingKey identifies the victim a job should be co-located with: the
+// victim key for every session-backed kind — so all jobs against one
+// victim land on the instance whose session and calibration caches hold
+// that victim hot, and one victim's temporal windows stay globally ordered
+// on one scheduler — and a provider/seed key for cloud jobs, which carry
+// no session but still deserve a stable placement. Routing never feeds
+// into the result: it only decides *where* a job runs.
+func (s JobSpec) routingKey() string {
+	if key := s.victimKey(); key != "" {
+		return key
+	}
+	return fmt.Sprintf("cloud|%s|seed=%d|maxslot=%d", s.Provider, s.Seed, s.AzureMaxSlot)
+}
+
 // watchableModule reports whether a spy target can be located by the
 // module attack (unique mapped size on the default victim).
 func watchableModule(name string) bool {

@@ -5,10 +5,37 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/rng"
+)
+
+// Runner is the submission surface the load generator drives. Both
+// *Scheduler and *Cluster implement it, so one RunLoad exercises daemon
+// mode and cluster mode identically — the cluster row in BENCH_scan.json
+// is produced by the same harness as the single-scheduler row.
+type Runner interface {
+	Submit(spec JobSpec) (*Job, error)
+	WaitCtx(ctx context.Context, j *Job) (*Result, error)
+	LoadStats() Stats
+	KindLatencies() map[Kind]KindLatency
+}
+
+// Victim-distribution names for LoadConfig.Dist.
+const (
+	// DistUniform cycles the victim pool round-robin (job i → victim
+	// i mod Victims): every victim equally hot.
+	DistUniform = "uniform"
+	// DistZipfian draws victims from a seeded zipf law over the pool
+	// (exponent ≈ 1.07): a few hot victims dominate the run — the skewed
+	// workload real scan traffic looks like, and the one where
+	// victim-key-affinity routing pays.
+	DistZipfian = "zipfian"
 )
 
 // DefaultMix is the standard mixed-scenario workload of the load
@@ -80,6 +107,12 @@ type LoadConfig struct {
 	// repeat scans — more session and calibration reuse; Victims >= Jobs
 	// makes every job a fresh victim.
 	Victims int
+	// Dist picks how jobs draw from the victim pool: DistUniform
+	// (default) or DistZipfian. The whole job→victim assignment is
+	// precomputed from (Seed, Jobs, Victims, Dist) before any submitter
+	// starts, so submitter interleaving can reorder submissions but never
+	// change which victim a job scans.
+	Dist string
 	// Mix is the scenario rotation (default DefaultMix).
 	Mix []JobSpec
 	// WaitTimeout bounds how long a submitter waits on one accepted job
@@ -94,7 +127,13 @@ type LoadConfig struct {
 type LoadReport struct {
 	Jobs        int     `json:"jobs"`
 	Concurrency int     `json:"concurrency"`
-	WallSec     float64 `json:"wall_sec"`
+	Dist        string  `json:"dist"`
+	// Cluster and Route describe the runner when it was a Cluster
+	// (instance count and routing policy); zero/empty for a single
+	// scheduler. Set by the caller, recorded in the bench entry.
+	Cluster int     `json:"cluster,omitempty"`
+	Route   string  `json:"route,omitempty"`
+	WallSec float64 `json:"wall_sec"`
 	Retries     int     `json:"retries"` // backpressure resubmissions (queue full / shed)
 	// SubmitErrors counts submissions the scheduler rejected permanently
 	// (invalid spec); those jobs are skipped, not retried.
@@ -114,7 +153,7 @@ type LoadReport struct {
 // `scand -load` and the race/throughput suite. Queue-full rejections are
 // retried after a short backoff, so the bounded queue is continuously
 // saturated without ever blocking inside Submit.
-func RunLoad(s *Scheduler, cfg LoadConfig) LoadReport {
+func RunLoad(s Runner, cfg LoadConfig) LoadReport {
 	if cfg.Jobs <= 0 {
 		cfg.Jobs = 64
 	}
@@ -127,12 +166,16 @@ func RunLoad(s *Scheduler, cfg LoadConfig) LoadReport {
 	if cfg.Victims <= 0 {
 		cfg.Victims = 16
 	}
+	if cfg.Dist == "" {
+		cfg.Dist = DistUniform
+	}
 	if len(cfg.Mix) == 0 {
 		cfg.Mix = DefaultMix()
 	}
 	if cfg.WaitTimeout <= 0 {
 		cfg.WaitTimeout = 2 * time.Minute
 	}
+	victimOf := victimAssignment(cfg)
 
 	start := time.Now()
 	var (
@@ -157,7 +200,7 @@ func RunLoad(s *Scheduler, cfg LoadConfig) LoadReport {
 				next++
 				mu.Unlock()
 				spec := cfg.Mix[i%len(cfg.Mix)]
-				spec.Seed = cfg.Seed + uint64(i%cfg.Victims)
+				spec.Seed = cfg.Seed + uint64(victimOf[i])
 				for {
 					j, err := s.Submit(spec)
 					if err == nil {
@@ -203,13 +246,44 @@ func RunLoad(s *Scheduler, cfg LoadConfig) LoadReport {
 	return LoadReport{
 		Jobs:         cfg.Jobs,
 		Concurrency:  cfg.Concurrency,
+		Dist:         cfg.Dist,
 		WallSec:      time.Since(start).Seconds(),
 		Retries:      retries,
 		SubmitErrors: subErrors,
 		WaitTimeouts: waitTimeouts,
-		Stats:        s.Stats(),
-		KindLatency:  s.Store().KindLatencies(),
+		Stats:        s.LoadStats(),
+		KindLatency:  s.KindLatencies(),
 	}
+}
+
+// victimAssignment precomputes job index → victim pool index before any
+// submitter starts: the assignment is a pure function of (Seed, Jobs,
+// Victims, Dist), so submitter goroutine interleaving can reorder
+// submissions but never change which victim a job scans — the property
+// the determinism suite leans on.
+func victimAssignment(cfg LoadConfig) []int {
+	out := make([]int, cfg.Jobs)
+	if cfg.Dist != DistZipfian {
+		for i := range out {
+			out[i] = i % cfg.Victims
+		}
+		return out
+	}
+	// Zipf CDF over victim ranks: weight(rank r) = 1/(r+1)^s. Rank 0 is
+	// the hottest victim; s ≈ 1.07 matches the classic web-traffic skew.
+	const s = 1.07
+	cdf := make([]float64, cfg.Victims)
+	var total float64
+	for r := range cdf {
+		total += 1 / math.Pow(float64(r+1), s)
+		cdf[r] = total
+	}
+	src := rng.New(cfg.Seed ^ 0x21bfa90d)
+	for i := range out {
+		u := src.Float64() * total
+		out[i] = sort.SearchFloat64s(cdf, u)
+	}
+	return out
 }
 
 // benchEntry mirrors the newline-delimited JSON schema scripts/bench.sh
@@ -233,12 +307,23 @@ type benchBenchmark struct {
 	SimSec     float64 `json:"sim_attacker_s"`
 	Sessions   int     `json:"sessions"`
 	CalReused  int     `json:"calibrations_reused"`
+	// SessionHits / HitRate record cache affinity for the run: HitRate is
+	// (session hits + calibration hits) / session lookups — the metric
+	// the cluster's hash routing is supposed to move and bench_compare
+	// watches for regressions.
+	SessionHits int     `json:"session_hits"`
+	HitRate     float64 `json:"session_hit_rate"`
+	// Dist records the victim distribution the run drew from.
+	Dist string `json:"dist,omitempty"`
 	// KindLatencyMs is the per-kind p50/p99 breakdown of the run (load
 	// entries only), keyed by kind name.
 	KindLatencyMs map[string]KindLatency `json:"kind_latency_ms,omitempty"`
 }
 
 // AppendBench appends the load report as one BENCH_scan.json entry.
+// Single-scheduler runs land as LoadMixed; cluster runs land as
+// LoadCluster with the instance count and routing policy in the name, so
+// the trajectory keeps single-box and cluster rows as distinct series.
 func AppendBench(path string, r LoadReport) error {
 	var kindLat map[string]KindLatency
 	if len(r.KindLatency) > 0 {
@@ -247,13 +332,18 @@ func AppendBench(path string, r LoadReport) error {
 			kindLat[string(k)] = v
 		}
 	}
+	name := fmt.Sprintf("LoadMixed/jobs=%d/conc=%d", r.Jobs, r.Concurrency)
+	if r.Cluster > 1 {
+		name = fmt.Sprintf("LoadCluster/jobs=%d/conc=%d/n=%d/route=%s",
+			r.Jobs, r.Concurrency, r.Cluster, r.Route)
+	}
 	e := benchEntry{
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		Pattern:    "scand-load",
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Benchmarks: []benchBenchmark{{
-			Name:          fmt.Sprintf("LoadMixed/jobs=%d/conc=%d", r.Jobs, r.Concurrency),
+			Name:          name,
 			Iterations:    r.Jobs,
 			JobsPerSec:    r.Stats.JobsPerSec,
 			P50Ms:         r.Stats.P50Ms,
@@ -261,6 +351,9 @@ func AppendBench(path string, r LoadReport) error {
 			SimSec:        r.Stats.SimAttackerSec,
 			Sessions:      r.Stats.Sessions,
 			CalReused:     r.Stats.CalibrationsReused,
+			SessionHits:   r.Stats.SessionHits,
+			HitRate:       r.Stats.CacheHitRate(),
+			Dist:          r.Dist,
 			KindLatencyMs: kindLat,
 		}},
 	}

@@ -69,12 +69,18 @@ func newMetricsPlane(s *Scheduler) *metricsPlane {
 	}
 
 	cache := s.cache
-	r.CounterFunc("scand_sessions_built_total", "Victim sessions booted and calibrated.",
-		func() float64 { built, _, _ := cache.stats(); return float64(built) })
-	r.CounterFunc("scand_calibrations_reused_total", "Session boots that replayed a cached calibration.",
-		func() float64 { _, reused, _ := cache.stats(); return float64(reused) })
+	r.CounterFunc("scand_sessions_built_total", "Victim sessions booted and calibrated (session-cache misses).",
+		func() float64 { return float64(cache.snapshot().SessionMisses) })
+	r.CounterFunc("scand_session_hits_total", "Jobs served from a parked cached session.",
+		func() float64 { return float64(cache.snapshot().SessionHits) })
+	r.CounterFunc("scand_calibrations_reused_total", "Session boots that replayed a cached calibration (calibration-cache hits).",
+		func() float64 { return float64(cache.snapshot().CalibrationHits) })
+	r.CounterFunc("scand_calibrations_run_total", "Session boots that ran Calibrate from scratch (calibration-cache misses).",
+		func() float64 { return float64(cache.snapshot().CalibrationMisses) })
 	r.CounterFunc("scand_sessions_quarantined_total", "Sessions condemned and dropped.",
-		func() float64 { _, _, q := cache.stats(); return float64(q) })
+		func() float64 { return float64(cache.snapshot().Quarantined) })
+	r.CounterFunc("scand_sessions_evicted_total", "Healthy idle sessions dropped at the cache cap.",
+		func() float64 { return float64(cache.snapshot().Evicted) })
 
 	for _, site := range fault.Sites() {
 		site := site

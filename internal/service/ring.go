@@ -1,0 +1,82 @@
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultHashReplicas is the virtual-node count per cluster instance when
+// ClusterConfig.HashReplicas is 0. More replicas smooth the key
+// distribution across instances (the per-instance share concentrates
+// around 1/N) at the cost of a larger — still tiny, built-once — ring.
+const DefaultHashReplicas = 64
+
+// ring is a deterministic consistent-hash ring over cluster instances:
+// each instance owns HashReplicas virtual nodes placed by hashing
+// "inst=<i>|vnode=<v>", and a key maps to the instance owning the first
+// point clockwise of the key's hash. The placement is a pure function of
+// (instances, replicas) — no construction-order or goroutine-interleaving
+// dependence — and growing or shrinking the instance count only moves the
+// keys whose arcs changed owners: an expected fraction of about 1/N for
+// one instance added to or removed from an N-instance ring, never a full
+// reshuffle (the property the remap-bound test counts and asserts).
+type ring struct {
+	points []ringPoint // sorted by (hash, instance)
+	n      int
+}
+
+type ringPoint struct {
+	hash uint64
+	inst int
+}
+
+// hashKey is the ring's one hash function (FNV-1a, the same family the
+// fault keys use): fast, dependency-free, stable across runs and builds.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// newRing builds the ring for n instances with r virtual nodes each
+// (r <= 0 means DefaultHashReplicas).
+func newRing(n, r int) *ring {
+	if n < 1 {
+		n = 1
+	}
+	if r <= 0 {
+		r = DefaultHashReplicas
+	}
+	pts := make([]ringPoint, 0, n*r)
+	for i := 0; i < n; i++ {
+		for v := 0; v < r; v++ {
+			pts = append(pts, ringPoint{hash: hashKey(fmt.Sprintf("inst=%d|vnode=%d", i, v)), inst: i})
+		}
+	}
+	// Ties (hash collisions between virtual nodes) are broken by instance
+	// index, so the ring's ownership is total-ordered and identical across
+	// runs even in the collision case.
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].hash != pts[b].hash {
+			return pts[a].hash < pts[b].hash
+		}
+		return pts[a].inst < pts[b].inst
+	})
+	return &ring{points: pts, n: n}
+}
+
+// lookup maps a routing key to its owning instance. The ring is immutable
+// after construction, so concurrent lookups need no synchronization.
+func (r *ring) lookup(key string) int {
+	if r.n == 1 || len(r.points) == 0 {
+		return 0
+	}
+	h := hashKey(key)
+	// First point at or clockwise of h; wrap to the start past the end.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].inst
+}

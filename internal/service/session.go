@@ -71,11 +71,15 @@ type sessionCache struct {
 	mu   sync.Mutex
 	free map[string][]*session
 	cals map[string]core.Calibration
-	// made counts sessions ever built; calHits counts calibrations
-	// skipped; quarantined counts sessions condemned and dropped.
+	// made counts sessions ever built (cache misses); hits counts
+	// acquisitions served from a parked session; calHits counts
+	// calibrations skipped; quarantined counts sessions condemned and
+	// dropped; evicted counts healthy sessions dropped at the idle cap.
 	made        int
+	hits        int
 	calHits     int
 	quarantined int
+	evicted     int
 	// max bounds the number of idle sessions kept (0 = unbounded).
 	max  int
 	idle int
@@ -109,6 +113,7 @@ func (c *sessionCache) acquireHook(spec JobSpec, hook func(op string) error) (*s
 		list[len(list)-1] = nil
 		c.free[key] = list[:len(list)-1]
 		c.idle--
+		c.hits++
 		c.mu.Unlock()
 		return s, true, nil
 	}
@@ -144,6 +149,7 @@ func (c *sessionCache) release(s *session) {
 		return // condemned: never re-adopted; the next boot rebuilds it
 	}
 	if c.max > 0 && c.idle >= c.max {
+		c.evicted++
 		return // drop; the calibration cache still covers the next boot
 	}
 	c.free[s.key] = append(c.free[s.key], s)
@@ -173,6 +179,53 @@ func (c *sessionCache) stats() (made, calHits, quarantined int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.made, c.calHits, c.quarantined
+}
+
+// cacheStats is the full session/calibration-cache effectiveness snapshot:
+// the hit/miss/evict counters the per-instance /metrics series and /stats
+// expose (a session hit reuses a parked session wholesale; a calibration
+// hit is a fresh boot that skipped Calibrate via the cached thresholds).
+type cacheStats struct {
+	// SessionHits counts acquisitions served from a parked session;
+	// SessionMisses counts acquisitions that had to build (equal to
+	// sessions made).
+	SessionHits   int
+	SessionMisses int
+	// CalibrationHits counts builds that replayed a cached calibration;
+	// CalibrationMisses counts builds that ran Calibrate from scratch.
+	CalibrationHits   int
+	CalibrationMisses int
+	// Quarantined counts condemned sessions; Evicted counts healthy
+	// sessions dropped at the idle cap.
+	Quarantined int
+	Evicted     int
+}
+
+// hitRate returns the combined session+calibration hit rate: the fraction
+// of session acquisitions that avoided a full boot-and-calibrate (reused a
+// session, or booted but replayed a cached calibration). This is the
+// affinity figure of merit: consistent-hash routing keeps one victim's
+// jobs on one instance, so its sessions and calibrations stay hot.
+func (cs cacheStats) hitRate() float64 {
+	total := cs.SessionHits + cs.SessionMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(cs.SessionHits+cs.CalibrationHits) / float64(total)
+}
+
+// snapshot returns the cache's full effectiveness counters.
+func (c *sessionCache) snapshot() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		SessionHits:       c.hits,
+		SessionMisses:     c.made,
+		CalibrationHits:   c.calHits,
+		CalibrationMisses: c.made - c.calHits,
+		Quarantined:       c.quarantined,
+		Evicted:           c.evicted,
+	}
 }
 
 // buildSession boots the spec's victim and produces a calibrated prober —

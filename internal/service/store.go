@@ -308,6 +308,25 @@ type Stats struct {
 	Shed           int    `json:"shed,omitempty"`
 	Quarantined    int    `json:"quarantined,omitempty"`
 	FaultsInjected uint64 `json:"faults_injected,omitempty"`
+	// Cache-effectiveness counters (omitted while zero, keeping zero-state
+	// JSON identical to the pre-counter service): SessionHits counts jobs
+	// served from a parked session — Sessions above counts the misses
+	// (builds) and CalibrationsReused the builds that skipped Calibrate —
+	// and SessionsEvicted counts healthy sessions dropped at the idle cap.
+	SessionHits     int `json:"session_hits,omitempty"`
+	SessionsEvicted int `json:"sessions_evicted,omitempty"`
+}
+
+// CacheHitRate is the combined session+calibration hit rate over all
+// session acquisitions: the fraction of jobs that avoided a full
+// boot-and-calibrate (reused a session, or booted against a cached
+// calibration). The affinity figure of merit the cluster bench records.
+func (s Stats) CacheHitRate() float64 {
+	total := s.SessionHits + s.Sessions
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SessionHits+s.CalibrationsReused) / float64(total)
 }
 
 // Stats computes the current aggregates. The latency quantiles come from
@@ -344,6 +363,38 @@ func (st *Store) Stats() Stats {
 	s.P50Ms = float64(st.lat.Quantile(0.50)) / 1e6
 	s.P99Ms = float64(st.lat.Quantile(0.99)) / 1e6
 	return s
+}
+
+// storeAgg is one store's raw counter snapshot — the mergeable form a
+// cluster rollup sums across instances (Stats derives rates from the
+// already-divided values, which do not add; these do).
+type storeAgg struct {
+	submitted, completed, failed, correct int
+	rejected, retries, shedded, evicted   int
+	dropped, retained                     int
+	simSec                                float64
+	firstSub, lastDone                    time.Time
+}
+
+// aggregate snapshots the store's raw counters for a cluster-wide rollup.
+func (st *Store) aggregate() storeAgg {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return storeAgg{
+		submitted: st.submitted,
+		completed: st.completed,
+		failed:    st.failed,
+		correct:   st.correct,
+		rejected:  st.rejected,
+		retries:   st.retries,
+		shedded:   st.shedded,
+		evicted:   st.evicted,
+		dropped:   st.dropped,
+		retained:  len(st.jobs),
+		simSec:    st.simSec,
+		firstSub:  st.firstSub,
+		lastDone:  st.lastDone,
+	}
 }
 
 // KindLatency is one kind's end-to-end latency summary.

@@ -3,8 +3,9 @@
 # (newline-delimited JSON, one object per bench.sh run) against the most
 # recent PREVIOUS entry recorded on the same host shape (matching num_cpu
 # AND gomaxprocs), per benchmark, and warn when any throughput rate —
-# probes/s (probe benchmarks), jobs/s (service/load benchmarks), or
-# ticks/s (temporal benchmarks) — dropped by more than 10%.
+# probes/s (probe benchmarks), jobs/s (service/load benchmarks), ticks/s
+# (temporal benchmarks), or session_hit_rate (the load/cluster cache
+# affinity metric) — dropped by more than 10%.
 #
 # Since bench.sh records one entry per GOMAXPROCS level of its scaling
 # matrix, comparing the raw last two entries would diff a multi-core row
@@ -37,10 +38,26 @@ latest="$(grep '{' "$file" | tail -n 1)"
 want_cpu="$(jfield "$latest" num_cpu)"
 want_gmp="$(jfield "$latest" gomaxprocs)"
 
-# Most recent earlier entry with the same host shape.
-prev="$(grep '{' "$file" | sed '$d' | grep -F "\"num_cpu\":$want_cpu,\"gomaxprocs\":$want_gmp," | tail -n 1 || true)"
+# Most recent earlier entry with the same host shape AND at least one
+# benchmark name in common with the latest entry. Name matching matters
+# now that `make load` appends both a LoadMixed and a LoadCluster row per
+# run: the entry adjacent to the latest is usually the *other* row, and
+# diffing disjoint sets would silently compare nothing — each series must
+# find its own predecessor.
+names_of() { printf '%s\n' "$1" | grep -o '"name":"[^"]*"' | sort -u; }
+latest_names="$(names_of "$latest")"
+prev=""
+while IFS= read -r cand; do
+    [ -n "$cand" ] || continue
+    if [ -n "$(printf '%s\n%s\n' "$latest_names" "$(names_of "$cand")" | sort | uniq -d)" ]; then
+        prev="$cand"
+        break
+    fi
+done <<EOF
+$(grep '{' "$file" | sed '$d' | grep -F "\"num_cpu\":$want_cpu,\"gomaxprocs\":$want_gmp," | sed -n '1!G;h;$p' || true)
+EOF
 if [ -z "$prev" ]; then
-    echo "bench_compare: no earlier entry matches the latest host shape (num_cpu=$want_cpu gomaxprocs=$want_gmp) — nothing comparable yet"
+    echo "bench_compare: no earlier entry matches the latest host shape (num_cpu=$want_cpu gomaxprocs=$want_gmp) and benchmark set — nothing comparable yet"
     exit 0
 fi
 
@@ -54,10 +71,12 @@ function field(s, key,    re, v) {
     gsub(/"/, "", v)
     return v
 }
-# Every throughput rate the trajectory file records: probe benchmarks
-# report probes/s, service and load benchmarks jobs/s, temporal
-# benchmarks ticks/s. Each is compared independently per benchmark name.
-BEGIN { metrics[1] = "probes/s"; metrics[2] = "jobs/s"; metrics[3] = "ticks/s"; nmetrics = 3 }
+# Every rate the trajectory file records: probe benchmarks report
+# probes/s, service and load benchmarks jobs/s, temporal benchmarks
+# ticks/s, and load/cluster entries session_hit_rate (cache affinity —
+# the metric the cluster router exists to raise). Each is compared
+# independently per benchmark name.
+BEGIN { metrics[1] = "probes/s"; metrics[2] = "jobs/s"; metrics[3] = "ticks/s"; metrics[4] = "session_hit_rate"; nmetrics = 4 }
 {
     line[NR] = $0
     n = split($0, parts, /\{"name":/)
@@ -93,7 +112,11 @@ END {
             if (pct < -10) { mark = "  <-- REGRESSION"; bad++ }
             if (pct < worst) worst = pct
             compared++
-            printf "  %-40s %12.0f -> %12.0f %-8s (%+6.1f%%)%s\n", name, old, new, metric, pct, mark
+            # Hit rates live in [0,1]; whole-number formatting would
+            # round them to 0/1.
+            fmt = "  %-40s %12.0f -> %12.0f %-8s (%+6.1f%%)%s\n"
+            if (metric == "session_hit_rate") fmt = "  %-40s %12.3f -> %12.3f %-8s (%+6.1f%%)%s\n"
+            printf fmt, name, old, new, metric, pct, mark
         }
     }
     if (compared == 0) {
@@ -103,11 +126,11 @@ END {
         exit 0
     }
     if (bad > 0) {
-        printf "bench_compare: %d rate(s) regressed >10%% across probes/s, jobs/s, ticks/s (worst %.1f%%)\n", bad, worst
+        printf "bench_compare: %d rate(s) regressed >10%% across probes/s, jobs/s, ticks/s, session_hit_rate (worst %.1f%%)\n", bad, worst
         if (cpu[1] != cpu[2])
             printf "bench_compare: note: core count changed (%s -> %s); host change, not code?\n", cpu[1], cpu[2]
         if (strict == 1) exit 1
     } else {
-        print "bench_compare: no throughput regression >10% (probes/s, jobs/s, ticks/s)"
+        print "bench_compare: no regression >10% (probes/s, jobs/s, ticks/s, session_hit_rate)"
     }
 }'
